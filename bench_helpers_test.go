@@ -1,0 +1,38 @@
+package repro_test
+
+import (
+	"math/rand"
+
+	"repro/internal/backend"
+	"repro/internal/turboca"
+)
+
+// turbocaRun executes one RunNBO with the given hop schedule (and
+// optionally the uniform-pick ablation), returning log NetP.
+func turbocaRun(opt backend.Options, in turboca.Input, hops []int, uniform bool) float64 {
+	cfg := opt.Planner
+	cfg.UniformPick = uniform
+	cfg.Runs = 4
+	res := turboca.RunNBO(cfg, in, rand.New(rand.NewSource(77)), hops)
+	return res.LogNetP
+}
+
+// turbocaSwitches plans twice: once to reach a good plan, then again with
+// the given penalty to measure churn on an already-stable network.
+func turbocaSwitches(opt backend.Options, in turboca.Input, penalty float64) int {
+	cfg := opt.Planner
+	cfg.Runs = 4
+	rng := rand.New(rand.NewSource(78))
+	first := turboca.RunNBO(cfg, in, rng, []int{1, 0})
+	// Install the first plan as current.
+	stable := in
+	stable.APs = append([]turboca.APView(nil), in.APs...)
+	for i := range stable.APs {
+		if a, ok := first.Plan[stable.APs[i].ID]; ok {
+			stable.APs[i].Current = a.Channel
+		}
+	}
+	cfg.SwitchPenalty = penalty
+	second := turboca.RunNBO(cfg, stable, rng, []int{1, 0})
+	return second.Switches
+}

@@ -1,0 +1,110 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/fastack"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/topo"
+	"repro/internal/turboca"
+)
+
+// Performance micro-benchmarks: not paper figures, but the numbers that
+// determine how long the paper figures take to regenerate.
+
+func BenchmarkPerfTCPSegmentCodec(b *testing.B) {
+	d := packet.NewTCPDatagram(
+		packet.Endpoint{Addr: packet.IPv4Addr{10, 0, 0, 1}, Port: 5000},
+		packet.Endpoint{Addr: packet.IPv4Addr{10, 0, 1, 2}, Port: 80}, 1448)
+	d.TCP.SACK = []packet.SACKBlock{{Left: 1, Right: 2}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := d.Marshal()
+		if _, err := packet.Unmarshal(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfFastACKDownlink(b *testing.B) {
+	agent := fastack.New(fastack.DefaultConfig(), func() sim.Time { return 0 })
+	srv := packet.Endpoint{Addr: packet.IPv4Addr{10, 0, 0, 1}, Port: 5000}
+	cli := packet.Endpoint{Addr: packet.IPv4Addr{10, 0, 1, 2}, Port: 80}
+	seq := uint32(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := packet.NewTCPDatagram(srv, cli, 1448)
+		d.TCP.Seq = seq
+		seq += 1448
+		agent.HandleDownlink(d)
+		agent.HandleWirelessAck(d, true)
+	}
+}
+
+func BenchmarkPerfMACSaturatedLink(b *testing.B) {
+	// Events per second of the MAC engine under a saturated 2-station
+	// link; reported as simulated-seconds per wall-second via ns/op.
+	engine := sim.NewEngine(1)
+	md := mac.NewMedium(engine, 40)
+	tx := md.AddStation(mac.StationConfig{Name: "tx", NSS: 3, Width: spectrum.W80, GI: phy.SGI})
+	rx := md.AddStation(mac.StationConfig{Name: "rx", NSS: 3, Width: spectrum.W80, GI: phy.SGI})
+	rx.OnReceive = func(*mac.MPDU, sim.Time) {}
+	srv := packet.Endpoint{Addr: packet.IPv4Addr{1}, Port: 1}
+	cli := packet.Endpoint{Addr: packet.IPv4Addr{2}, Port: 2}
+	refill := engine.Ticker(sim.Millisecond, func(*sim.Engine) {
+		for tx.QueueDepth(phy.ACBE, rx.ID) < 64 {
+			tx.Enqueue(packet.NewUDPDatagram(srv, cli, 1400), rx.ID, phy.ACBE)
+		}
+	})
+	defer refill()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.RunUntil(engine.Now() + 100*sim.Millisecond)
+	}
+}
+
+func BenchmarkPerfNBOMuseum(b *testing.B) {
+	sc := topo.Museum(3)
+	engine := sim.NewEngine(3)
+	be := backend.New(backend.DefaultOptions(backend.AlgTurboCA), sc, engine)
+	engine.RunUntil(13 * sim.Hour)
+	in := be.PlannerInput(spectrum.Band5)
+	cfg := turboca.DefaultConfig()
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		turboca.RunNBO(cfg, in, rng, []int{0})
+	}
+}
+
+func BenchmarkPerfNBOCampus(b *testing.B) {
+	sc := topo.Campus(3)
+	engine := sim.NewEngine(3)
+	be := backend.New(backend.DefaultOptions(backend.AlgTurboCA), sc, engine)
+	engine.RunUntil(13 * sim.Hour)
+	in := be.PlannerInput(spectrum.Band5)
+	cfg := turboca.DefaultConfig()
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		turboca.RunNBO(cfg, in, rng, []int{0})
+	}
+}
+
+func BenchmarkPerfModelEvaluate(b *testing.B) {
+	sc := topo.Campus(5)
+	m := backend.NewModel(sc, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Invalidate()
+		m.Evaluate(sim.Time(i%24) * sim.Hour)
+	}
+}

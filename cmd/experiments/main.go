@@ -1,0 +1,52 @@
+// Command experiments reruns the paper's complete evaluation — every
+// table and figure — and prints a paper-vs-measured report. With -md it
+// emits the EXPERIMENTS.md body.
+//
+//	experiments            # full run, text report (~10 min)
+//	experiments -quick     # shortened simulations
+//	experiments -md        # markdown output
+//	experiments -only fig16,fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorten simulated durations")
+	md := flag.Bool("md", false, "emit markdown (EXPERIMENTS.md body)")
+	seed := flag.Int64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig16,table2)")
+	flag.Parse()
+
+	reports := experiments.All(experiments.Options{Seed: *seed, Quick: *quick})
+
+	if *only != "" {
+		want := map[string]bool{}
+		for _, id := range strings.Split(*only, ",") {
+			want[normalize(id)] = true
+		}
+		var filtered []experiments.Report
+		for _, r := range reports {
+			if want[normalize(r.ID)] {
+				filtered = append(filtered, r)
+			}
+		}
+		reports = filtered
+	}
+
+	if *md {
+		fmt.Print(experiments.Markdown(reports))
+		return
+	}
+	fmt.Print(experiments.Text(reports))
+}
+
+func normalize(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	return strings.ReplaceAll(s, " ", "")
+}

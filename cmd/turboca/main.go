@@ -1,0 +1,131 @@
+// Command turboca plans channels for a synthetic deployment and reports
+// the plan, NetP improvement, and switch count — or runs the full §4.6
+// A/B evaluation of TurboCA vs ReservedCA over simulated weeks.
+//
+// Usage:
+//
+//	turboca -scenario=office|campus|museum -mode=plan
+//	turboca -scenario=museum -mode=eval -days=5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/topo"
+)
+
+func main() {
+	scenario := flag.String("scenario", "office", "office, campus, museum, school, or hotel")
+	mode := flag.String("mode", "plan", "plan (one-shot) or eval (A/B vs ReservedCA)")
+	days := flag.Int("days", 3, "simulated days per algorithm in eval mode")
+	seed := flag.Int64("seed", 42, "generation seed")
+	flag.Parse()
+
+	build, ok := scenarios[*scenario]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "unknown scenario:", *scenario)
+		os.Exit(2)
+	}
+
+	switch *mode {
+	case "plan":
+		planOnce(build, *seed)
+	case "eval":
+		evalAB(build, *days, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "unknown mode:", *mode)
+		os.Exit(2)
+	}
+}
+
+// scenarios maps the -scenario flag to a builder.
+var scenarios = map[string]func(int64) *topo.Scenario{
+	"office": topo.Office,
+	"campus": topo.Campus,
+	"museum": topo.Museum,
+	"school": topo.School,
+	"hotel":  topo.Hotel,
+}
+
+func planOnce(build func(int64) *topo.Scenario, seed int64) {
+	sc := build(seed)
+	dp := core.WrapDeployment(sc, backend.AlgNone, seed)
+	fmt.Printf("%v\n", sc)
+	fmt.Printf("before: %v\n", dp.CurrentPlan())
+
+	res := core.PlanOnce(sc, seed)
+	fmt.Printf("after:  %v\n", dp.CurrentPlan())
+	fmt.Println(sc.RenderPlan(72, 18))
+	fmt.Printf("rounds=%d switches=%d logNetP=%.1f improved=%v\n",
+		res.Rounds, res.Switches, res.LogNetP, res.Improved)
+
+	// Channel histogram.
+	counts := map[int]int{}
+	for _, ap := range sc.APs {
+		counts[ap.Channel.Number]++
+	}
+	var chans []int
+	for c := range counts {
+		chans = append(chans, c)
+	}
+	sort.Ints(chans)
+	for _, c := range chans {
+		ch := spectrum.Channel{Band: spectrum.Band5, Number: c}
+		fmt.Printf("  ch%-4d %3d APs %s\n", c, counts[c], bar(counts[c]))
+		_ = ch
+	}
+}
+
+func bar(n int) string {
+	if n > 60 {
+		n = 60
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func evalAB(build func(int64) *topo.Scenario, days int, seed int64) {
+	d := sim.Time(days) * sim.Day
+	type result struct {
+		alg      string
+		usageTB  float64
+		latP50   float64
+		effP50   float64
+		switches int
+	}
+	var results []result
+	for _, alg := range []backend.Algorithm{backend.AlgReservedCA, backend.AlgTurboCA} {
+		dp := core.WrapDeployment(build(seed), alg, seed)
+		dp.Run(d)
+		// Skip the first day for stabilization, as §4.6.1 skips the first
+		// week.
+		from := sim.Day
+		results = append(results, result{
+			alg:      alg.String(),
+			usageTB:  dp.UsageTB(from, d),
+			latP50:   dp.TCPLatency(from, d).Median(),
+			effP50:   dp.BitrateEfficiency(from, d).Median(),
+			switches: dp.Backend.Switches(),
+		})
+	}
+	fmt.Printf("%-12s %10s %12s %10s %9s\n", "algorithm", "usage(TB)", "latP50(ms)", "effP50", "switches")
+	for _, r := range results {
+		fmt.Printf("%-12s %10.3f %12.1f %10.3f %9d\n", r.alg, r.usageTB, r.latP50, r.effP50, r.switches)
+	}
+	if len(results) == 2 && results[0].usageTB > 0 {
+		fmt.Printf("usage %+0.1f%%, latency %+0.1f%%, efficiency %+0.1f%%\n",
+			100*(results[1].usageTB-results[0].usageTB)/results[0].usageTB,
+			100*(results[1].latP50-results[0].latP50)/results[0].latP50,
+			100*(results[1].effP50-results[0].effP50)/results[0].effP50)
+	}
+}

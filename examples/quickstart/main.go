@@ -1,0 +1,49 @@
+// Quickstart: the three workflows of the library in ~60 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+func main() {
+	// 1. Measurement study (Section 3): synthesize a fleet and query it
+	// like the Meraki backend queries LittleTable.
+	f := core.NewFleetStudy(200, 1)
+	u24 := f.UtilizationCDF(spectrum.Band2G4, 10)
+	u5 := f.UtilizationCDF(spectrum.Band5, 10)
+	fmt.Printf("fleet: %d APs; median utilization 2.4GHz=%.0f%% 5GHz=%.0f%%\n",
+		f.APCount(), 100*u24.Median(), 100*u5.Median())
+
+	// 2. Channel planning (Section 4): take a 33-AP office that boots
+	// with every radio on the same 80 MHz channel, and let TurboCA fix it.
+	dp := core.NewDeployment(core.Office, backend.AlgNone, 7)
+	fmt.Printf("office before: %v\n", dp.CurrentPlan())
+	res := core.PlanOnce(dp.Scenario, 7)
+	fmt.Printf("office after:  %v (switches=%d, rounds=%d)\n",
+		dp.CurrentPlan(), res.Switches, res.Rounds)
+
+	// 3. TCP acceleration (Section 5): ten clients downloading through
+	// one AP, baseline vs FastACK, same channel realization.
+	for _, mode := range []core.Mode{core.Baseline, core.FastACK} {
+		opt := core.DefaultTestbedOptions()
+		opt.ClientsPerAP = 10
+		opt.APModes = []core.Mode{mode}
+		opt.BadHintRate = 0.015
+		tb := core.NewTestbed(opt)
+		dur := 8 * sim.Second
+		tb.Run(dur)
+		total := 0.0
+		for _, c := range tb.Clients {
+			total += c.GoodputMbps(dur)
+		}
+		fmt.Printf("testbed %-8v: %6.1f Mbps aggregate, mean A-MPDU %.1f\n",
+			mode, total, tb.AggAP[0].Mean())
+	}
+}

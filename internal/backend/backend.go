@@ -1,0 +1,305 @@
+// Package backend models the Meraki cloud side of Section 2: it polls
+// every AP on a fixed cadence, stores the collected statistics in a
+// LittleTable-style time-series database, snapshots the network state into
+// planner inputs, runs a channel-assignment service (TurboCA or
+// ReservedCA), and pushes accepted channel plans back to the APs.
+//
+// The per-AP performance numbers the poller records come from an analytic
+// RF/contention model (model.go) evaluated against the scenario's ground
+// truth — the same role the real deployment's physics plays for the real
+// backend.
+package backend
+
+import (
+	"math/rand"
+
+	"repro/internal/littletable"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/topo"
+	"repro/internal/turboca"
+)
+
+// Algorithm selects the channel-assignment service.
+type Algorithm int
+
+const (
+	// AlgNone leaves the initial (default) channel plan untouched.
+	AlgNone Algorithm = iota
+	// AlgReservedCA is the sequential greedy baseline, every 5 hours,
+	// fixed 20 MHz width (§4.6.1).
+	AlgReservedCA
+	// AlgTurboCA is the full §4.4 algorithm on the §4.4.4 schedule.
+	AlgTurboCA
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgReservedCA:
+		return "ReservedCA"
+	case AlgTurboCA:
+		return "TurboCA"
+	}
+	return "None"
+}
+
+// Options configures a backend instance.
+type Options struct {
+	Seed         int64
+	Algorithm    Algorithm
+	PollInterval sim.Time // statistics collection cadence (default 5 min)
+	// ReservedCAInterval is the baseline's re-evaluation period (5 h).
+	ReservedCAInterval sim.Time
+	// ReservedCAWidth is the baseline's fixed channel width.
+	ReservedCAWidth spectrum.Width
+	// Planner carries TurboCA tunables.
+	Planner turboca.Config
+	// AllowDFS admits DFS channels on 5 GHz.
+	AllowDFS bool
+	// RadarEventsPerDay injects DFS radar detections across the network
+	// at this mean rate (0 disables; see radar.go).
+	RadarEventsPerDay float64
+}
+
+// DefaultOptions returns the production cadences.
+func DefaultOptions(alg Algorithm) Options {
+	return Options{
+		Seed:               7,
+		Algorithm:          alg,
+		PollInterval:       5 * sim.Minute,
+		ReservedCAInterval: 5 * sim.Hour,
+		ReservedCAWidth:    spectrum.W20,
+		Planner:            turboca.DefaultConfig(),
+		AllowDFS:           true,
+	}
+}
+
+// Backend drives one scenario under one algorithm.
+type Backend struct {
+	Opt      Options
+	Scenario *topo.Scenario
+	Engine   *sim.Engine
+	DB       *littletable.DB
+	Model    *Model
+	Service  *turboca.Service // non-nil for AlgTurboCA
+
+	rng             *rand.Rand
+	switches        int
+	radarHit        int
+	disruptionTotal float64
+	fallbacks       map[int]spectrum.Channel // AP ID -> planner-provided DFS fallback
+}
+
+// New wires a backend over a scenario.
+func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
+	b := &Backend{
+		Opt:       opt,
+		Scenario:  sc,
+		Engine:    engine,
+		DB:        littletable.NewDB(),
+		rng:       rand.New(rand.NewSource(opt.Seed)),
+		fallbacks: map[int]spectrum.Channel{},
+	}
+	b.Model = NewModel(sc, opt.Seed^0x5eed)
+	if opt.Algorithm == AlgTurboCA {
+		b.Service = turboca.NewService(opt.Planner, b.PlannerInput, b.applyPlan, opt.Seed)
+	}
+	return b
+}
+
+// Start registers the poll and planning schedules.
+func (b *Backend) Start() {
+	poll := b.Opt.PollInterval
+	if poll <= 0 {
+		poll = 5 * sim.Minute
+	}
+	b.Engine.Ticker(poll, func(e *sim.Engine) { b.Poll() })
+
+	b.startRadar()
+	switch b.Opt.Algorithm {
+	case AlgTurboCA:
+		b.Service.Start(b.Engine)
+	case AlgReservedCA:
+		iv := b.Opt.ReservedCAInterval
+		if iv <= 0 {
+			iv = 5 * sim.Hour
+		}
+		b.Engine.Ticker(iv, func(e *sim.Engine) { b.runReservedCA() })
+	}
+}
+
+// Switches reports how many AP channel changes the service has applied.
+func (b *Backend) Switches() int { return b.switches }
+
+// PlannerInput snapshots the scenario into a turboca.Input for the band —
+// exactly the data a real backend would have: neighbor reports, scanned
+// utilization, client mixes and usage.
+func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
+	now := b.Engine.Now()
+	in := turboca.Input{Band: band, AllowDFS: b.Opt.AllowDFS, MaxWidth: spectrum.W80}
+	if band == spectrum.Band2G4 {
+		in.MaxWidth = spectrum.W20
+	}
+	perf := b.Model.Evaluate(now)
+	for _, ap := range b.Scenario.APs {
+		cur := ap.Channel
+		if band == spectrum.Band2G4 {
+			cur = ap.Channel24
+		}
+		v := turboca.APView{
+			ID:       ap.ID,
+			Current:  cur,
+			MaxWidth: minWidth(in.MaxWidth, ap.MaxWidth),
+			// Clients dissociate off-hours; that is when the deep NBO
+			// passes can migrate APs onto DFS channels without stranding
+			// anyone through a CAC (§4.5.2).
+			HasClients:   len(ap.Clients) > 0 && b.Scenario.DemandAt(ap, now) > 0.15*ap.BaseDemandMbps,
+			CSAFraction:  csaFraction(ap),
+			Load:         normalizeLoad(b.Scenario.DemandAt(ap, now)),
+			WidthLoad:    widthLoad(ap),
+			Utilization:  perf[ap.ID].Utilization,
+			ExternalUtil: b.externalUtilMap(ap, band),
+		}
+		for _, n := range b.Scenario.NeighborsOf(ap) {
+			v.Neighbors = append(v.Neighbors, n.AP.ID)
+		}
+		in.APs = append(in.APs, v)
+	}
+	return in
+}
+
+func minWidth(a, bw spectrum.Width) spectrum.Width {
+	if a < bw {
+		return a
+	}
+	return bw
+}
+
+func csaFraction(ap *topo.AP) float64 {
+	if len(ap.Clients) == 0 {
+		return 1
+	}
+	n := 0
+	for _, c := range ap.Clients {
+		if c.SupportsCSA {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ap.Clients))
+}
+
+// normalizeLoad maps Mbps demand to the planner's load weight scale.
+func normalizeLoad(mbps float64) float64 {
+	l := mbps / 50
+	if l > 4 {
+		l = 4
+	}
+	return l
+}
+
+// widthLoad computes load(b): usage-weighted share of clients by max
+// width.
+func widthLoad(ap *topo.AP) map[spectrum.Width]float64 {
+	out := map[spectrum.Width]float64{}
+	total := 0.0
+	for _, c := range ap.Clients {
+		total += c.UsageWeight
+	}
+	if total == 0 {
+		return map[spectrum.Width]float64{spectrum.W20: 1}
+	}
+	for _, c := range ap.Clients {
+		out[c.MaxWidth] += c.UsageWeight / total
+	}
+	return out
+}
+
+func (b *Backend) externalUtilMap(ap *topo.AP, band spectrum.Band) map[int]float64 {
+	out := map[int]float64{}
+	for _, c := range spectrum.Channels(band, spectrum.W20, true) {
+		u := b.Scenario.ExternalUtilization(ap.Pos, band, c.Number)
+		if u > 0 {
+			out[c.Number] = u
+		}
+	}
+	return out
+}
+
+// applyPlan pushes an accepted plan onto the scenario's APs.
+func (b *Backend) applyPlan(band spectrum.Band, plan turboca.Plan, res turboca.Result) {
+	for _, ap := range b.Scenario.APs {
+		a, ok := plan[ap.ID]
+		if !ok {
+			continue
+		}
+		if band == spectrum.Band2G4 {
+			if ap.Channel24 != a.Channel {
+				b.switches++
+				ap.Channel24 = a.Channel
+				b.chargeSwitch(ap, band, b.Engine.Now())
+			}
+			continue
+		}
+		if ap.Channel != a.Channel {
+			b.switches++
+			ap.Channel = a.Channel
+			b.chargeSwitch(ap, band, b.Engine.Now())
+		}
+		if a.Fallback != nil {
+			b.fallbacks[ap.ID] = *a.Fallback
+		} else {
+			delete(b.fallbacks, ap.ID)
+		}
+	}
+	b.Model.Invalidate()
+}
+
+func (b *Backend) runReservedCA() {
+	for _, band := range []spectrum.Band{spectrum.Band5, spectrum.Band2G4} {
+		in := b.PlannerInput(band)
+		w := b.Opt.ReservedCAWidth
+		if band == spectrum.Band2G4 {
+			w = spectrum.W20
+		}
+		res := turboca.RunReservedCA(b.Opt.Planner, in, w)
+		b.applyPlan(band, res.Plan, res)
+	}
+}
+
+// Poll collects one statistics sample per AP into the time-series store:
+// usage (bytes served this interval), channel utilization, TCP latency
+// samples, bit-rate efficiency, and client RSSIs.
+func (b *Backend) Poll() {
+	now := b.Engine.Now()
+	perf := b.Model.Evaluate(now)
+	interval := b.Opt.PollInterval
+	usage := b.DB.Table("usage")
+	util := b.DB.Table("utilization")
+	lat := b.DB.Table("tcp_latency")
+	eff := b.DB.Table("bitrate_eff")
+
+	for _, ap := range b.Scenario.APs {
+		p := perf[ap.ID]
+		servedBytes := p.ServedMbps * 1e6 / 8 * interval.Seconds()
+		key := ap.Name
+		usage.Insert(key, now, map[string]float64{
+			"bytes":   servedBytes,
+			"demand":  p.DemandMbps,
+			"served":  p.ServedMbps,
+			"clients": float64(len(ap.Clients)),
+		})
+		util.InsertValue(key, now, "util", p.Utilization)
+		// Latency and bit-rate observations are per-transmission in the
+		// real system, so busy APs and busy hours contribute
+		// proportionally more samples to the fleet distributions
+		// (Figs 8-9). Importance-weight by served traffic.
+		n := 1 + int(p.ServedMbps/20)
+		if n > 12 {
+			n = 12
+		}
+		for i := 0; i < n; i++ {
+			lat.InsertValue(key, now, "ms", b.Model.SampleTCPLatency(p, b.rng))
+			eff.InsertValue(key, now, "eff", b.Model.SampleBitrateEff(p, b.rng))
+		}
+	}
+}

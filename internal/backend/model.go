@@ -1,0 +1,235 @@
+package backend
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/topo"
+)
+
+// APPerf is the modeled state of one AP at an evaluation instant.
+type APPerf struct {
+	DemandMbps float64
+	// AirtimeShare is the fraction of airtime the AP can win on its
+	// channel after external interference and co-channel neighbors.
+	AirtimeShare float64
+	// CapacityMbps is the AP's effective MAC throughput at full airtime.
+	CapacityMbps float64
+	// ServedMbps = min(demand, capacity*share), then uplink-scaled.
+	ServedMbps float64
+	// Utilization is the busy fraction the AP's radio observes.
+	Utilization float64
+	// Contention summarizes co-channel pressure (0 = alone).
+	Contention float64
+	// ExtUtil is the external (non-network) utilization on the channel.
+	ExtUtil float64
+}
+
+// Model converts a scenario plus a channel plan into the per-AP
+// performance numbers a deployment would measure. It is the analytic
+// stand-in for running a packet-level MAC simulation over hundreds of APs
+// for simulated weeks, which the planner experiments (Table 2, Figs 8-9)
+// require.
+type Model struct {
+	sc  *topo.Scenario
+	rng *rand.Rand
+
+	// Cached per-width effective capacity (Mbps) for a typical client mix.
+	capByWidth map[spectrum.Width]float64
+
+	// neighbor cache: scenario geometry is static.
+	neighbors map[int][]topo.Neighbor
+
+	// lastEval memoizes Evaluate for one timestamp.
+	lastAt   sim.Time
+	lastPerf map[int]APPerf
+	dirty    bool
+
+	// extCache memoizes extUtilOn per (AP, channel): interferer geometry
+	// is static, so the value only depends on the assigned channel.
+	extCache map[extKey]float64
+}
+
+type extKey struct {
+	apID   int
+	number int
+	width  spectrum.Width
+}
+
+// NewModel builds a model over the scenario.
+func NewModel(sc *topo.Scenario, seed int64) *Model {
+	m := &Model{
+		sc:         sc,
+		rng:        rand.New(rand.NewSource(seed)),
+		capByWidth: map[spectrum.Width]float64{},
+		neighbors:  map[int][]topo.Neighbor{},
+		dirty:      true,
+	}
+	// Effective MAC throughput for a representative mid-cell client
+	// (MCS7, 2 streams, the Fig 5 mode) at moderate aggregation.
+	for _, w := range spectrum.Widths {
+		r := phy.Rate{MCS: 7, NSS: 2, Width: w, GI: phy.SGI}
+		m.capByWidth[w] = phy.EffectiveMACThroughputMbps(r, 24, 1400)
+	}
+	for _, ap := range sc.APs {
+		m.neighbors[ap.ID] = sc.NeighborsOf(ap)
+	}
+	return m
+}
+
+// Invalidate drops the memoized evaluation (after a channel change).
+func (m *Model) Invalidate() { m.dirty = true }
+
+// Evaluate computes APPerf for every AP at time t. Co-channel contention
+// is demand-weighted: a neighbor that overlaps any 20 MHz sub-channel of
+// the AP's assignment consumes a share of its airtime proportional to the
+// neighbor's own offered load (CSMA sharing, §4.1.2).
+func (m *Model) Evaluate(t sim.Time) map[int]APPerf {
+	if !m.dirty && t == m.lastAt && m.lastPerf != nil {
+		return m.lastPerf
+	}
+	sc := m.sc
+	perf := make(map[int]APPerf, len(sc.APs))
+
+	// Pass 1: demand and normalized load per AP.
+	demand := make(map[int]float64, len(sc.APs))
+	for _, ap := range sc.APs {
+		demand[ap.ID] = sc.DemandAt(ap, t)
+	}
+
+	// Pass 2: per-AP airtime demand (offered load as a fraction of the
+	// AP's own channel capacity, beacons included).
+	airDemand := make(map[int]float64, len(sc.APs))
+	for _, ap := range sc.APs {
+		cap5 := m.capByWidth[ap.Channel.Width]
+		airDemand[ap.ID] = 0.02 + demand[ap.ID]/math.Max(cap5, 1)
+	}
+
+	// Pass 3: rationing. The airtime demanded on an AP's channel is its
+	// own plus every overlapping in-range neighbor's plus external
+	// sources. CSMA shares the medium roughly proportionally, so when
+	// the total exceeds 1 every participant is scaled back by it.
+	totalServed := 0.0
+	for _, ap := range sc.APs {
+		cap5 := m.capByWidth[ap.Channel.Width]
+		ext := m.extUtilOn(ap, ap.Channel)
+
+		contention := 0.0 // neighbors' airtime demand on our channel
+		for _, n := range m.neighbors[ap.ID] {
+			if n.AP.Channel.Overlaps(ap.Channel) {
+				contention += airDemand[n.AP.ID]
+			}
+		}
+		total := ext + contention + airDemand[ap.ID]
+
+		scale := 1.0
+		if total > 1 {
+			scale = 1 / total
+		}
+		served := demand[ap.ID] * scale
+		share := airDemand[ap.ID] * scale
+
+		perf[ap.ID] = APPerf{
+			DemandMbps:   demand[ap.ID],
+			AirtimeShare: share,
+			CapacityMbps: cap5,
+			ServedMbps:   served,
+			Utilization:  clamp01(total),
+			Contention:   contention,
+			ExtUtil:      ext,
+		}
+		totalServed += served
+	}
+
+	// Uplink cap: scale every AP's served traffic down proportionally
+	// (Table 2: UNet's usage is bounded by the WAN).
+	if sc.UplinkMbps > 0 && totalServed > sc.UplinkMbps {
+		scale := sc.UplinkMbps / totalServed
+		for id, p := range perf {
+			p.ServedMbps *= scale
+			perf[id] = p
+		}
+	}
+
+	m.lastAt = t
+	m.lastPerf = perf
+	m.dirty = false
+	return perf
+}
+
+func (m *Model) extUtilOn(ap *topo.AP, c spectrum.Channel) float64 {
+	key := extKey{apID: ap.ID, number: c.Number, width: c.Width}
+	if v, ok := m.extCache[key]; ok {
+		return v
+	}
+	worst := 0.0
+	for _, sub := range c.Sub20Numbers() {
+		if u := m.sc.ExternalUtilization(ap.Pos, c.Band, sub); u > worst {
+			worst = u
+		}
+	}
+	if m.extCache == nil {
+		m.extCache = map[extKey]float64{}
+	}
+	m.extCache[key] = worst
+	return worst
+}
+
+// SampleTCPLatency draws one TCP latency observation (ms) for an AP: a
+// base RTT plus contention-driven queueing (M/M/1-shaped), plus the
+// heavy tail the paper attributes to arbitrarily slow clients — which is
+// algorithm-independent (§4.6.2: "the distribution of latency over 400ms
+// is similar for both").
+func (m *Model) SampleTCPLatency(p APPerf, rng *rand.Rand) float64 {
+	base := 4 + rng.Float64()*6
+	rho := p.Utilization
+	if rho > 0.97 {
+		rho = 0.97
+	}
+	queue := 30 * rho / (1 - rho) * (0.5 + rng.Float64())
+	lat := base + queue
+	if rng.Float64() < 0.04 {
+		// Slow/non-responsive client tail.
+		lat += 400 + rng.ExpFloat64()*300
+	}
+	return lat
+}
+
+// SampleBitrateEff draws one bit-rate-efficiency observation in (0, 1]:
+// the achieved rate divided by the client/AP pair's maximum (§4.6.2). A
+// busy channel degrades it — collisions and retries drive Minstrel-style
+// controllers toward conservative rates — and external interference
+// lowers SINR directly.
+func (m *Model) SampleBitrateEff(p APPerf, rng *rand.Rand) float64 {
+	rho := p.Utilization
+	base := 0.92 - 0.38*rho*rho - 0.12*math.Tanh(p.Contention/3) - 0.20*p.ExtUtil
+	eff := base + rng.NormFloat64()*0.07
+	return clamp01At(eff, 0.05, 1)
+}
+
+// SampleRSSI draws a client RSSI (dBm) from the distance distribution of
+// an indoor cell; it does not depend on the channel plan (Fig 7's point:
+// RSSI is a poor health metric because it is stable across load).
+func (m *Model) SampleRSSI(rng *rand.Rand) float64 {
+	d := 2 + rng.ExpFloat64()*9 // most clients within ~10 m
+	if d > 40 {
+		d = 40
+	}
+	loss := m.sc.Prop.Shadowed(spectrum.Band5, d, int(d/12), rng)
+	return phy.DefaultAPTxPowerDBm + 2*phy.DefaultAntennaGainDBi - loss
+}
+
+func clamp01(x float64) float64 { return clamp01At(x, 0, 1) }
+
+func clamp01At(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,70 @@
+package backend
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// DFS radar handling (§4.5.2): operation on a DFS channel requires
+// vacating immediately when radar is detected, and TurboCA therefore
+// maintains a non-DFS fallback for every DFS assignment. The backend
+// injects radar events at a configurable rate and performs the fallback
+// switch the moment one fires; the regular planning cadence then
+// re-optimizes from the new state.
+
+// radarCheckInterval is how often the injector draws for events.
+const radarCheckInterval = 15 * sim.Minute
+
+// startRadar installs the injector when the options enable it.
+func (b *Backend) startRadar() {
+	if b.Opt.RadarEventsPerDay <= 0 {
+		return
+	}
+	perCheck := b.Opt.RadarEventsPerDay * radarCheckInterval.Seconds() / sim.Day.Seconds()
+	b.Engine.Ticker(radarCheckInterval, func(e *sim.Engine) {
+		if b.rng.Float64() >= perCheck {
+			return
+		}
+		b.radarEvent()
+	})
+}
+
+// radarEvent picks a random AP operating on a DFS channel and forces the
+// fallback move.
+func (b *Backend) radarEvent() {
+	var onDFS []int
+	for i, ap := range b.Scenario.APs {
+		if ap.Channel.DFS {
+			onDFS = append(onDFS, i)
+		}
+	}
+	if len(onDFS) == 0 {
+		return
+	}
+	ap := b.Scenario.APs[onDFS[b.rng.Intn(len(onDFS))]]
+	b.radarHit++
+
+	fb, ok := b.fallbacks[ap.ID]
+	if !ok || fb.Width == 0 || fb.DFS {
+		// No planner-provided fallback (e.g. the initial plan): take the
+		// first non-DFS channel at the AP's width, narrowing if needed.
+		w := ap.Channel.Width
+		for {
+			if cands := spectrum.Channels(spectrum.Band5, w, false); len(cands) > 0 {
+				fb = cands[b.rng.Intn(len(cands))]
+				break
+			}
+			w /= 2
+			if !w.Valid() {
+				fb, _ = spectrum.ChannelAt(spectrum.Band5, 36, spectrum.W20)
+				break
+			}
+		}
+	}
+	ap.Channel = fb
+	b.switches++
+	b.Model.Invalidate()
+}
+
+// RadarEvents reports how many radar hits were injected.
+func (b *Backend) RadarEvents() int { return b.radarHit }

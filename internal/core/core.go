@@ -1,0 +1,189 @@
+// Package core is the library's public facade. It ties the substrates
+// together into the three workflows the paper's systems support:
+//
+//   - Measurement study (Section 3): synthesize a fleet and rerun the
+//     population statistics — NewFleetStudy.
+//   - Channel planning (Section 4): run TurboCA or ReservedCA over a
+//     deployment scenario with the backend's poll/plan/apply loop —
+//     NewDeployment.
+//   - TCP acceleration (Section 5): run baseline-vs-FastACK testbed
+//     experiments — NewTestbed (re-exported from internal/testbed).
+//
+// Downstream code may also use the substrate packages directly; this
+// package exists so the common cases are a few lines.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/backend"
+	"repro/internal/fleet"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/topo"
+	"repro/internal/turboca"
+)
+
+// Re-exported types so most callers only import core.
+type (
+	// Testbed is the §5.6 FastACK performance lab.
+	Testbed = testbed.Testbed
+	// TestbedOptions configures it.
+	TestbedOptions = testbed.Options
+	// Mode selects an AP datapath (Baseline or FastACK).
+	Mode = testbed.Mode
+	// Scenario is a deployment topology for channel planning.
+	Scenario = topo.Scenario
+	// Fleet is a synthesized AP/client population.
+	Fleet = fleet.Fleet
+)
+
+// Testbed mode constants.
+const (
+	Baseline = testbed.Baseline
+	FastACK  = testbed.FastACK
+)
+
+// NewTestbed builds a §5.6 testbed; see testbed.Options.
+func NewTestbed(opt TestbedOptions) *Testbed { return testbed.New(opt) }
+
+// DefaultTestbedOptions mirrors the paper's lab setup.
+func DefaultTestbedOptions() TestbedOptions { return testbed.DefaultOptions() }
+
+// Deployment couples a scenario with a backend running a channel
+// assignment algorithm, ready to simulate days of operation.
+type Deployment struct {
+	Scenario *topo.Scenario
+	Backend  *backend.Backend
+	Engine   *sim.Engine
+}
+
+// DeploymentKind selects a §4.6 evaluation network.
+type DeploymentKind int
+
+// Built-in scenario kinds.
+const (
+	Office DeploymentKind = iota // Meraki-HQ-like dense office
+	Campus                       // UNet-like university, uplink-capped
+	Museum                       // MNet-like museum
+)
+
+func (k DeploymentKind) String() string {
+	switch k {
+	case Campus:
+		return "campus"
+	case Museum:
+		return "museum"
+	default:
+		return "office"
+	}
+}
+
+func (k DeploymentKind) build(seed int64) *topo.Scenario {
+	switch k {
+	case Campus:
+		return topo.Campus(seed)
+	case Museum:
+		return topo.Museum(seed)
+	default:
+		return topo.Office(seed)
+	}
+}
+
+// NewDeployment builds a scenario of the given kind and attaches a
+// backend running alg. Call Run to simulate.
+func NewDeployment(kind DeploymentKind, alg backend.Algorithm, seed int64) *Deployment {
+	sc := kind.build(seed)
+	engine := sim.NewEngine(seed)
+	be := backend.New(backend.DefaultOptions(alg), sc, engine)
+	return &Deployment{Scenario: sc, Backend: be, Engine: engine}
+}
+
+// Run starts the backend services and simulates for d.
+func (dp *Deployment) Run(d sim.Time) {
+	dp.Backend.Start()
+	dp.Engine.RunUntil(d)
+}
+
+// Continue simulates for another d beyond the current clock.
+func (dp *Deployment) Continue(d sim.Time) {
+	dp.Engine.RunUntil(dp.Engine.Now() + d)
+}
+
+// UsageTB sums network-wide served bytes over [from, to), in terabytes
+// (Table 2's unit).
+func (dp *Deployment) UsageTB(from, to sim.Time) float64 {
+	return dp.Backend.DB.Table("usage").SumField("bytes", from, to) / 1e12
+}
+
+// TCPLatency aggregates the per-AP TCP latency samples over [from, to).
+func (dp *Deployment) TCPLatency(from, to sim.Time) *stats.Sample {
+	return dp.Backend.DB.Table("tcp_latency").AggregateField("ms", from, to)
+}
+
+// BitrateEfficiency aggregates bit-rate-efficiency samples over [from, to).
+func (dp *Deployment) BitrateEfficiency(from, to sim.Time) *stats.Sample {
+	return dp.Backend.DB.Table("bitrate_eff").AggregateField("eff", from, to)
+}
+
+// Utilization aggregates per-AP utilization samples over [from, to).
+func (dp *Deployment) Utilization(from, to sim.Time) *stats.Sample {
+	return dp.Backend.DB.Table("utilization").AggregateField("util", from, to)
+}
+
+// PlanSummary describes the current channel plan.
+type PlanSummary struct {
+	Widths   map[spectrum.Width]int
+	Channels map[int]int // 5 GHz primary channel -> AP count
+	DFSCount int
+}
+
+// CurrentPlan summarizes the scenario's 5 GHz assignments.
+func (dp *Deployment) CurrentPlan() PlanSummary {
+	s := PlanSummary{Widths: map[spectrum.Width]int{}, Channels: map[int]int{}}
+	for _, ap := range dp.Scenario.APs {
+		s.Widths[ap.Channel.Width]++
+		s.Channels[ap.Channel.Number]++
+		if ap.Channel.DFS {
+			s.DFSCount++
+		}
+	}
+	return s
+}
+
+func (s PlanSummary) String() string {
+	return fmt.Sprintf("widths=%v dfs=%d channels=%d distinct",
+		s.Widths, s.DFSCount, len(s.Channels))
+}
+
+// NewFleetStudy synthesizes a population for the Section 3 measurement
+// study.
+func NewFleetStudy(networks int, seed int64) *Fleet {
+	return fleet.Generate(fleet.Options{Seed: seed, Networks: networks})
+}
+
+// PlanOnce runs a single TurboCA pass (hops 2,1,0) over a scenario and
+// applies the result — the one-shot planning entry point for tools that
+// do not need the full backend loop.
+func PlanOnce(sc *topo.Scenario, seed int64) turboca.Result {
+	engine := sim.NewEngine(seed)
+	be := backend.New(backend.DefaultOptions(backend.AlgTurboCA), sc, engine)
+	in := be.PlannerInput(spectrum.Band5)
+	res := turboca.RunNBO(turboca.DefaultConfig(), in, sc.Rand(), []int{2, 1, 0})
+	for _, ap := range sc.APs {
+		if a, ok := res.Plan[ap.ID]; ok {
+			ap.Channel = a.Channel
+		}
+	}
+	return res
+}
+
+// WrapDeployment attaches a backend running alg to an existing scenario
+// (for callers that built their own topo.Scenario, e.g. School or Hotel).
+func WrapDeployment(sc *topo.Scenario, alg backend.Algorithm, seed int64) *Deployment {
+	engine := sim.NewEngine(seed)
+	be := backend.New(backend.DefaultOptions(alg), sc, engine)
+	return &Deployment{Scenario: sc, Backend: be, Engine: engine}
+}

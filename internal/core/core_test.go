@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The three public workflows, end to end, in miniature.
+
+	// 1. Measurement study.
+	f := NewFleetStudy(60, 1)
+	if f.APCount() == 0 {
+		t.Fatal("empty fleet")
+	}
+	if f.UtilizationCDF(spectrum.Band2G4, 10).N() == 0 {
+		t.Fatal("no utilization samples")
+	}
+
+	// 2. Channel planning.
+	dp := NewDeployment(Office, backend.AlgNone, 2)
+	before := dp.CurrentPlan()
+	res := PlanOnce(dp.Scenario, 2)
+	after := dp.CurrentPlan()
+	if !res.Improved {
+		t.Fatal("planning an all-default network must improve")
+	}
+	if len(after.Channels) <= len(before.Channels) {
+		t.Fatalf("plan did not spread channels: %v -> %v", before, after)
+	}
+
+	// 3. FastACK testbed.
+	opt := DefaultTestbedOptions()
+	opt.ClientsPerAP = 3
+	opt.APModes = []Mode{FastACK}
+	opt.Warmup = sim.Second
+	tb := NewTestbed(opt)
+	tb.Run(3 * sim.Second)
+	total := 0.0
+	for _, c := range tb.Clients {
+		total += c.GoodputMbps(3 * sim.Second)
+	}
+	if total <= 0 {
+		t.Fatal("testbed moved no traffic")
+	}
+}
+
+func TestDeploymentMetrics(t *testing.T) {
+	dp := NewDeployment(Office, backend.AlgTurboCA, 3)
+	dp.Run(2 * sim.Hour)
+	if got := dp.UsageTB(0, 2*sim.Hour); got <= 0 {
+		t.Fatalf("usage = %f", got)
+	}
+	if dp.TCPLatency(0, 2*sim.Hour).N() == 0 {
+		t.Fatal("no latency samples")
+	}
+	if dp.BitrateEfficiency(0, 2*sim.Hour).N() == 0 {
+		t.Fatal("no efficiency samples")
+	}
+	if dp.Utilization(0, 2*sim.Hour).N() == 0 {
+		t.Fatal("no utilization samples")
+	}
+	dp.Continue(sim.Hour)
+	if dp.Engine.Now() != 3*sim.Hour {
+		t.Fatalf("Continue landed at %v", dp.Engine.Now())
+	}
+}
+
+func TestDeploymentKinds(t *testing.T) {
+	for _, k := range []DeploymentKind{Office, Campus, Museum} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+	if n := len(NewDeployment(Museum, backend.AlgNone, 1).Scenario.APs); n != 300 {
+		t.Fatalf("museum deployment has %d APs", n)
+	}
+}
+
+func TestPlanSummaryString(t *testing.T) {
+	dp := NewDeployment(Office, backend.AlgNone, 1)
+	if dp.CurrentPlan().String() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,340 @@
+package dot11
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/spectrum"
+)
+
+// Information element IDs used by the systems in this repository.
+const (
+	IESSID            = 0
+	IESupportedRates  = 1
+	IEDSParameter     = 3 // current channel
+	IECSA             = 37
+	IEHTCapabilities  = 45
+	IEExtCSA          = 60
+	IEVHTCapabilities = 191
+	IEVHTOperation    = 192
+)
+
+// IE is one raw information element.
+type IE struct {
+	ID   uint8
+	Body []byte
+}
+
+// EncodeIEs appends a list of elements.
+func EncodeIEs(b []byte, ies []IE) []byte {
+	for _, ie := range ies {
+		b = append(b, ie.ID, uint8(len(ie.Body)))
+		b = append(b, ie.Body...)
+	}
+	return b
+}
+
+// DecodeIEs parses elements until the buffer ends; a truncated trailing
+// element is an error.
+func DecodeIEs(b []byte) ([]IE, error) {
+	var out []IE
+	for len(b) > 0 {
+		if len(b) < 2 {
+			return nil, ErrTruncated
+		}
+		n := int(b[1])
+		if len(b) < 2+n {
+			return nil, ErrTruncated
+		}
+		out = append(out, IE{ID: b[0], Body: append([]byte(nil), b[2:2+n]...)})
+		b = b[2+n:]
+	}
+	return out, nil
+}
+
+// Find returns the first element with the given ID.
+func Find(ies []IE, id uint8) (IE, bool) {
+	for _, ie := range ies {
+		if ie.ID == id {
+			return ie, true
+		}
+	}
+	return IE{}, false
+}
+
+// Capabilities is the station-capability summary carried in HT/VHT
+// elements — exactly what the Fig 1 study tallies from association
+// requests.
+type Capabilities struct {
+	HT       bool
+	VHT      bool
+	MaxWidth spectrum.Width
+	NSS      int
+	SGI      bool
+}
+
+// CapabilityIEs renders the capability set as HT (and, if VHT, VHT)
+// elements.
+func CapabilityIEs(c Capabilities) []IE {
+	var out []IE
+	if !c.HT {
+		return out
+	}
+	// HT capabilities: 26-byte body; we populate the info field's
+	// 40 MHz bit, SGI bit, and the MCS-set bitmap's stream count.
+	ht := make([]byte, 26)
+	var info uint16
+	if c.MaxWidth >= spectrum.W40 {
+		info |= 1 << 1 // supported channel width set
+	}
+	if c.SGI {
+		info |= 1 << 5
+	}
+	binary.LittleEndian.PutUint16(ht[0:2], info)
+	for s := 0; s < c.NSS && s < 4; s++ {
+		ht[3+s] = 0xff // MCS 0-7 per stream
+	}
+	out = append(out, IE{ID: IEHTCapabilities, Body: ht})
+
+	if c.VHT {
+		vht := make([]byte, 12)
+		var vinfo uint32
+		if c.MaxWidth >= spectrum.W160 {
+			vinfo |= 1 << 2 // supported channel width: 160 MHz
+		}
+		if c.SGI {
+			vinfo |= 1 << 5 // SGI for 80 MHz
+		}
+		binary.LittleEndian.PutUint32(vht[0:4], vinfo)
+		// VHT MCS map: 2 bits per stream, 0b10 = MCS 0-9, 0b11 = none.
+		mcsMap := uint16(0xffff)
+		for s := 0; s < c.NSS && s < 8; s++ {
+			mcsMap &^= 0x3 << (2 * s)
+			mcsMap |= 0x2 << (2 * s)
+		}
+		binary.LittleEndian.PutUint16(vht[4:6], mcsMap) // rx map
+		binary.LittleEndian.PutUint16(vht[8:10], mcsMap)
+		out = append(out, IE{ID: IEVHTCapabilities, Body: vht})
+	}
+	return out
+}
+
+// ParseCapabilities recovers a Capabilities summary from elements.
+func ParseCapabilities(ies []IE) Capabilities {
+	var c Capabilities
+	c.MaxWidth = spectrum.W20
+	if ht, ok := Find(ies, IEHTCapabilities); ok && len(ht.Body) >= 7 {
+		c.HT = true
+		info := binary.LittleEndian.Uint16(ht.Body[0:2])
+		if info&(1<<1) != 0 {
+			c.MaxWidth = spectrum.W40
+		}
+		c.SGI = info&(1<<5) != 0
+		for s := 0; s < 4; s++ {
+			if ht.Body[3+s] != 0 {
+				c.NSS = s + 1
+			}
+		}
+	}
+	if vht, ok := Find(ies, IEVHTCapabilities); ok && len(vht.Body) >= 6 {
+		c.VHT = true
+		vinfo := binary.LittleEndian.Uint32(vht.Body[0:4])
+		c.MaxWidth = spectrum.W80
+		if vinfo&(1<<2) != 0 {
+			c.MaxWidth = spectrum.W160
+		}
+		mcsMap := binary.LittleEndian.Uint16(vht.Body[4:6])
+		nss := 0
+		for s := 0; s < 8; s++ {
+			if mcsMap>>(2*s)&0x3 != 0x3 {
+				nss = s + 1
+			}
+		}
+		if nss > c.NSS {
+			c.NSS = nss
+		}
+	}
+	if c.NSS == 0 {
+		c.NSS = 1
+	}
+	return c
+}
+
+// CSA is the Channel Switch Announcement element (§4.3.1): the AP
+// advertises the target channel and a beacon countdown so CSA-capable
+// clients follow without rescanning.
+type CSA struct {
+	Mode        uint8 // 1 = stop transmitting until the switch
+	NewChannel  uint8
+	SwitchCount uint8 // beacons remaining
+}
+
+// ToIE renders the element.
+func (c CSA) ToIE() IE {
+	return IE{ID: IECSA, Body: []byte{c.Mode, c.NewChannel, c.SwitchCount}}
+}
+
+// ParseCSA extracts a CSA element if present.
+func ParseCSA(ies []IE) (CSA, bool) {
+	ie, ok := Find(ies, IECSA)
+	if !ok || len(ie.Body) != 3 {
+		return CSA{}, false
+	}
+	return CSA{Mode: ie.Body[0], NewChannel: ie.Body[1], SwitchCount: ie.Body[2]}, true
+}
+
+// Beacon is the parsed form of a beacon or probe response body.
+type Beacon struct {
+	Timestamp uint64
+	Interval  uint16 // TUs
+	CapInfo   uint16
+	SSID      string
+	Channel   int
+	CSA       *CSA
+	Caps      Capabilities
+	IEs       []IE
+}
+
+// EncodeBeacon renders a beacon management-frame body.
+func EncodeBeacon(bc Beacon) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint64(b, bc.Timestamp)
+	b = binary.LittleEndian.AppendUint16(b, bc.Interval)
+	b = binary.LittleEndian.AppendUint16(b, bc.CapInfo)
+	ies := []IE{{ID: IESSID, Body: []byte(bc.SSID)}}
+	if bc.Channel > 0 && bc.Channel < 256 {
+		ies = append(ies, IE{ID: IEDSParameter, Body: []byte{uint8(bc.Channel)}})
+	}
+	ies = append(ies, CapabilityIEs(bc.Caps)...)
+	if bc.CSA != nil {
+		ies = append(ies, bc.CSA.ToIE())
+	}
+	ies = append(ies, bc.IEs...)
+	return EncodeIEs(b, ies)
+}
+
+// DecodeBeacon parses a beacon body.
+func DecodeBeacon(b []byte) (Beacon, error) {
+	if len(b) < 12 {
+		return Beacon{}, ErrTruncated
+	}
+	var bc Beacon
+	bc.Timestamp = binary.LittleEndian.Uint64(b[0:8])
+	bc.Interval = binary.LittleEndian.Uint16(b[8:10])
+	bc.CapInfo = binary.LittleEndian.Uint16(b[10:12])
+	ies, err := DecodeIEs(b[12:])
+	if err != nil {
+		return Beacon{}, err
+	}
+	bc.IEs = ies
+	if ssid, ok := Find(ies, IESSID); ok {
+		bc.SSID = string(ssid.Body)
+	}
+	if ds, ok := Find(ies, IEDSParameter); ok && len(ds.Body) == 1 {
+		bc.Channel = int(ds.Body[0])
+	}
+	if csa, ok := ParseCSA(ies); ok {
+		bc.CSA = &csa
+	}
+	bc.Caps = ParseCapabilities(ies)
+	return bc, nil
+}
+
+// AssocRequest is the parsed form of an association request body.
+type AssocRequest struct {
+	CapInfo  uint16
+	Interval uint16
+	SSID     string
+	Caps     Capabilities
+}
+
+// EncodeAssocRequest renders an association-request body — the frame the
+// fleet study parses capabilities out of.
+func EncodeAssocRequest(ar AssocRequest) []byte {
+	b := make([]byte, 0, 48)
+	b = binary.LittleEndian.AppendUint16(b, ar.CapInfo)
+	b = binary.LittleEndian.AppendUint16(b, ar.Interval)
+	ies := []IE{{ID: IESSID, Body: []byte(ar.SSID)}}
+	ies = append(ies, CapabilityIEs(ar.Caps)...)
+	return EncodeIEs(b, ies)
+}
+
+// DecodeAssocRequest parses an association-request body.
+func DecodeAssocRequest(b []byte) (AssocRequest, error) {
+	if len(b) < 4 {
+		return AssocRequest{}, ErrTruncated
+	}
+	var ar AssocRequest
+	ar.CapInfo = binary.LittleEndian.Uint16(b[0:2])
+	ar.Interval = binary.LittleEndian.Uint16(b[2:4])
+	ies, err := DecodeIEs(b[4:])
+	if err != nil {
+		return AssocRequest{}, err
+	}
+	if ssid, ok := Find(ies, IESSID); ok {
+		ar.SSID = string(ssid.Body)
+	}
+	ar.Caps = ParseCapabilities(ies)
+	return ar, nil
+}
+
+// BlockAck is the compressed Block Ack control frame: the starting
+// sequence number plus a 64-bit bitmap of acknowledged MPDUs — the
+// link-layer feedback FastACK converts into fast TCP ACKs (§5.2).
+type BlockAck struct {
+	RA, TA   MAC
+	TID      int
+	StartSeq uint16
+	Bitmap   uint64
+}
+
+// Acked reports whether the MPDU with sequence number seq is covered.
+func (ba *BlockAck) Acked(seq uint16) bool {
+	off := int(seq-ba.StartSeq) & 0xfff
+	if off >= 64 {
+		return false
+	}
+	return ba.Bitmap&(1<<off) != 0
+}
+
+// SetAcked marks seq as received.
+func (ba *BlockAck) SetAcked(seq uint16) {
+	off := int(seq-ba.StartSeq) & 0xfff
+	if off < 64 {
+		ba.Bitmap |= 1 << off
+	}
+}
+
+// Encode renders the control frame (header + BA control + SSC + bitmap).
+func (ba *BlockAck) Encode(b []byte) []byte {
+	h := Header{Type: TypeControl, Subtype: SubtypeBlockAck, Addr1: ba.RA, Addr2: ba.TA}
+	// Control frames have no Addr3/seq on the air; we keep the common
+	// header for simplicity and mark the unused fields zero.
+	b = h.Encode(b)
+	ctl := uint16(0x0004) | uint16(ba.TID)<<12 // compressed bitmap
+	b = binary.LittleEndian.AppendUint16(b, ctl)
+	b = binary.LittleEndian.AppendUint16(b, ba.StartSeq<<4)
+	b = binary.LittleEndian.AppendUint64(b, ba.Bitmap)
+	return b
+}
+
+// DecodeBlockAck parses a Block Ack frame previously encoded by Encode.
+func DecodeBlockAck(b []byte) (BlockAck, error) {
+	h, body, err := DecodeHeader(b)
+	if err != nil {
+		return BlockAck{}, err
+	}
+	if h.Type != TypeControl || h.Subtype != SubtypeBlockAck {
+		return BlockAck{}, fmt.Errorf("%w: not a block ack", ErrBadFormat)
+	}
+	if len(body) < 12 {
+		return BlockAck{}, ErrTruncated
+	}
+	var ba BlockAck
+	ba.RA, ba.TA = h.Addr1, h.Addr2
+	ctl := binary.LittleEndian.Uint16(body[0:2])
+	ba.TID = int(ctl >> 12)
+	ba.StartSeq = binary.LittleEndian.Uint16(body[2:4]) >> 4
+	ba.Bitmap = binary.LittleEndian.Uint64(body[4:12])
+	return ba, nil
+}

@@ -1,0 +1,608 @@
+// Package experiments runs every table and figure of the paper's
+// evaluation against this repository's implementations and renders a
+// paper-vs-measured report (the content of EXPERIMENTS.md). Each
+// experiment is independent and returns rows of (metric, paper value,
+// measured value) so callers can render text or markdown.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/fleet"
+	"repro/internal/littletable"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+	"repro/internal/topo"
+)
+
+// Row is one reported metric.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string // e.g. "Fig 16"
+	Title string
+	Rows  []Row
+	Notes string
+}
+
+// Options scales the run time.
+type Options struct {
+	Seed int64
+	// Quick shrinks simulated durations (CI mode).
+	Quick bool
+}
+
+// testbedDur returns the per-run simulated duration.
+func (o Options) testbedDur() sim.Time {
+	if o.Quick {
+		return 6 * sim.Second
+	}
+	return 12 * sim.Second
+}
+
+func (o Options) abDays() int {
+	if o.Quick {
+		return 2
+	}
+	return 3
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pc(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// All runs every experiment in order.
+func All(opt Options) []Report {
+	fl := fleet.Generate(fleet.Options{Seed: opt.Seed, Networks: 800})
+	out := []Report{
+		Fig1(opt),
+		Fig2(fl),
+		Fig3(fl),
+		Fig4(opt),
+		Fig5(fl),
+		Table1(fl),
+		Fig6(opt),
+		Fig7(opt),
+	}
+	out = append(out, TurboCAExperiments(opt)...)
+	out = append(out, FastACKExperiments(opt)...)
+	return out
+}
+
+// Fig1 reruns the client-capability study.
+func Fig1(opt Options) Report {
+	const n = 200000
+	c15 := fleet.CapabilityReport(fleet.Cohort2015, n, opt.Seed)
+	c17 := fleet.CapabilityReport(fleet.Cohort2017, n, opt.Seed+1)
+	frac := func(c *stats.Counter, k string) float64 { return 100 * float64(c.Count(k)) / n }
+	return Report{
+		ID: "Fig 1", Title: "Advertised client capabilities (2015 vs 2017)",
+		Rows: []Row{
+			{"802.11ac clients", "18% -> 46%", pc(frac(c15, "802.11ac")) + " -> " + pc(frac(c17, "802.11ac"))},
+			{"2.4GHz-only clients", "~40% -> ~40%", pc(frac(c15, "2.4GHz-only")) + " -> " + pc(frac(c17, "2.4GHz-only"))},
+			{">=2-stream clients", "19% -> 37%", pc(frac(c15, ">=2SS")) + " -> " + pc(frac(c17, ">=2SS"))},
+			{">=40MHz-capable", "grew, ~80% by 2017", pc(frac(c15, ">=40MHz")) + " -> " + pc(frac(c17, ">=40MHz"))},
+		},
+	}
+}
+
+// Fig2 reruns the utilization CDF.
+func Fig2(fl *fleet.Fleet) Report {
+	u24 := fl.UtilizationCDF(spectrum.Band2G4, 10)
+	u5 := fl.UtilizationCDF(spectrum.Band5, 10)
+	return Report{
+		ID: "Fig 2", Title: "Channel utilization CDF, networks with >=10 APs",
+		Rows: []Row{
+			{"2.4 GHz median", "20%", pc(100 * u24.Median())},
+			{"5 GHz median", "3%", pc(100 * u5.Median())},
+			{"2.4 GHz p90", "high (dense tail)", pc(100 * u24.Percentile(90))},
+		},
+		Notes: "HQ-class dense offices run far hotter (82%/23% medians); see examples/office.",
+	}
+}
+
+// Fig3 reruns the interferer-count CDF.
+func Fig3(fl *fleet.Fleet) Report {
+	i24 := fl.InterfererCDF(spectrum.Band2G4, 10)
+	i5 := fl.InterfererCDF(spectrum.Band5, 10)
+	return Report{
+		ID: "Fig 3", Title: "Same-channel interfering APs",
+		Rows: []Row{
+			{"2.4 GHz median", "7", f1(i24.Median())},
+			{"2.4 GHz p90", "29", f1(i24.Percentile(90))},
+			{"5 GHz median", "5", f1(i5.Median())},
+			{"5 GHz p90", "14", f1(i5.Percentile(90))},
+		},
+	}
+}
+
+// RunACStudy executes the Fig 4 experiment — one AP, eight stations
+// spanning good-to-marginal links with fades and an interferer, all four
+// access categories offered simultaneously — returning per-AC mean
+// 802.11 latency (ms) and post-retry loss (percent).
+func RunACStudy(opt Options) (latMs, lossPc map[phy.AccessCategory]float64) {
+	engine := sim.NewEngine(opt.Seed)
+	md := mac.NewMedium(engine, 26)
+	ap := md.AddStation(mac.StationConfig{Name: "ap", NSS: 2, Width: spectrum.W40, GI: phy.SGI, IsAP: true})
+	var clients []*mac.Station
+	for i := 0; i < 8; i++ {
+		c := md.AddStation(mac.StationConfig{Name: "c", NSS: 2, Width: spectrum.W40, GI: phy.SGI})
+		c.OnReceive = func(*mac.MPDU, sim.Time) {}
+		md.SetSNR(ap.ID, c.ID, 6+float64(i)*2.2) // far clients sit near the rate floor
+		clients = append(clients, c)
+	}
+	md.AddInterferer(20*sim.Millisecond, 0.25)
+
+	// Channel dynamics: deep fades push links into retry exhaustion, the
+	// §3.2.4 loss mechanism. Lower-priority categories exhaust their
+	// (smaller) retry budgets first.
+	fadeRng := rand.New(rand.NewSource(opt.Seed + 99))
+	fadeLeft := make([]int, len(clients))
+	engine.Ticker(100*sim.Millisecond, func(e *sim.Engine) {
+		for i, c := range clients {
+			base := 6 + float64(i)*2.2
+			if fadeLeft[i] > 0 {
+				fadeLeft[i]--
+				md.SetSNR(ap.ID, c.ID, base-16)
+				continue
+			}
+			if fadeRng.Float64() < 0.02 {
+				fadeLeft[i] = 2 + fadeRng.Intn(4)
+			}
+			md.SetSNR(ap.ID, c.ID, base)
+		}
+	})
+
+	lat := map[phy.AccessCategory]*stats.Sample{}
+	sent := map[phy.AccessCategory]int{}
+	lost := map[phy.AccessCategory]int{}
+	for _, ac := range []phy.AccessCategory{phy.ACBK, phy.ACBE, phy.ACVI, phy.ACVO} {
+		lat[ac] = stats.NewSample(1024)
+	}
+	ap.OnDelivered = func(m *mac.MPDU, ok bool, now sim.Time) {
+		if ok {
+			lat[m.AC].Add((now - m.EnqueuedAt).Millis())
+		} else {
+			lost[m.AC]++
+		}
+	}
+	mix := []struct {
+		ac    phy.AccessCategory
+		perMs float64
+		size  int
+	}{{phy.ACBE, 1.2, 1400}, {phy.ACBK, 0.4, 1400}, {phy.ACVI, 0.15, 1200}, {phy.ACVO, 0.15, 240}}
+	srv := packet.Endpoint{Addr: packet.IPv4Addr{10, 0, 0, 1}, Port: 9}
+	engine.Ticker(sim.Millisecond, func(e *sim.Engine) {
+		for _, mx := range mix {
+			n := int(mx.perMs)
+			if e.Rand().Float64() < mx.perMs-float64(n) {
+				n++
+			}
+			for j := 0; j < n; j++ {
+				c := clients[e.Rand().Intn(len(clients))]
+				dst := packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000200 + uint32(c.ID)), Port: 80}
+				if ap.Enqueue(packet.NewUDPDatagram(srv, dst, mx.size), c.ID, mx.ac) {
+					sent[mx.ac]++
+				}
+			}
+		}
+	})
+	dur := 25 * sim.Second
+	if opt.Quick {
+		dur = 8 * sim.Second
+	}
+	engine.RunUntil(dur)
+
+	latMs = map[phy.AccessCategory]float64{}
+	lossPc = map[phy.AccessCategory]float64{}
+	for ac, smp := range lat {
+		latMs[ac] = smp.Mean()
+		if sent[ac] > 0 {
+			lossPc[ac] = 100 * float64(lost[ac]) / float64(sent[ac])
+		}
+	}
+	return latMs, lossPc
+}
+
+// Fig4 runs the access-category latency/loss study on the MAC simulator.
+func Fig4(opt Options) Report {
+	latMs, lossPc := RunACStudy(opt)
+	return Report{
+		ID: "Fig 4", Title: "Latency and loss by access category",
+		Rows: []Row{
+			{"latency ordering", "VO < VI < BE < BK", fmt.Sprintf("VO %.1f < VI %.1f < BE %.1f <= BK %.1f ms",
+				latMs[phy.ACVO], latMs[phy.ACVI], latMs[phy.ACBE], latMs[phy.ACBK])},
+			{"BK loss", "5.0%", pc(lossPc[phy.ACBK])},
+			{"BE loss", "2.7%", pc(lossPc[phy.ACBE])},
+			{"VI loss", "0.2%", pc(lossPc[phy.ACVI])},
+			{"VO loss", "0.9%", pc(lossPc[phy.ACVO])},
+		},
+	}
+}
+
+// Fig5 reruns the bit-rate distribution.
+func Fig5(fl *fleet.Fleet) Report {
+	s := fl.BitrateDistribution(100000)
+	h := stats.NewHistogram(0, 1024, 8) // 128 Mbps bins
+	for _, v := range s.Values() {
+		h.Add(v)
+	}
+	bulk := 0.0
+	for i, f := range h.PDF() {
+		lo := h.Lo + float64(i)*h.BinWidth()
+		if lo >= 256 && lo < 512 {
+			bulk += f
+		}
+	}
+	return Report{
+		ID: "Fig 5", Title: "5 GHz bit-rate distribution",
+		Rows: []Row{
+			{"bulk in 256-512 Mbps", "most rates", pc(100 * bulk)},
+			{"median rate", "(in the bulk)", f1(s.Median()) + " Mbps"},
+			{"p90 rate", "-", f1(s.Percentile(90)) + " Mbps"},
+		},
+	}
+}
+
+// Table1 reruns the channel-width configuration mixture.
+func Table1(fl *fleet.Fleet) Report {
+	all, large := fl.WidthTable()
+	row := func(w string, pAll, pLarge string) Row {
+		return Row{w, pAll + " / " + pLarge,
+			pc(100*all.Fraction(w)) + " / " + pc(100*large.Fraction(w))}
+	}
+	return Report{
+		ID: "Table 1", Title: "Configured channel width (all APs / >10-AP networks)",
+		Rows: []Row{
+			row("20MHz", "14.9%", "17.3%"),
+			row("40MHz", "19.1%", "19.4%"),
+			row("80MHz", "66.0%", "63.3%"),
+		},
+	}
+}
+
+// Fig6 reruns one AP's day in a dense office.
+func Fig6(opt Options) Report {
+	sc := topo.Office(opt.Seed)
+	engine := sim.NewEngine(opt.Seed)
+	be := backend.New(backend.DefaultOptions(backend.AlgNone), sc, engine)
+	be.Start()
+	engine.RunUntil(sim.Day)
+	key := sc.APs[0].Name
+	served := be.DB.Table("usage").FieldRange(key, "served", 0, sim.Day)
+	s := stats.NewSample(len(served))
+	for _, p := range served {
+		s.Add(p.V)
+	}
+	avg := func(ps []littletable.Point) float64 {
+		if len(ps) == 0 {
+			return 0
+		}
+		t := 0.0
+		for _, p := range ps {
+			t += p.V
+		}
+		return t / float64(len(ps))
+	}
+	burst := avg(be.DB.Table("usage").FieldRange(key, "served", 13*sim.Hour+30*sim.Minute, 14*sim.Hour+30*sim.Minute))
+	lunch := avg(be.DB.Table("usage").FieldRange(key, "served", 12*sim.Hour, 13*sim.Hour))
+	return Report{
+		ID: "Fig 6", Title: "One office AP over a day (usage/utilization vs client count)",
+		Rows: []Row{
+			{"peak/mean served ratio", "bursty (>2x)", f2(s.Max() / (s.Mean() + 1e-9))},
+			{"2pm burst vs lunch", "sudden ~30-min burst", f1(burst) + " vs " + f1(lunch) + " Mbps"},
+		},
+		Notes: "examples/office prints the full hour-by-hour trace.",
+	}
+}
+
+// Fig7 shows RSSI's insensitivity to load.
+func Fig7(opt Options) Report {
+	sc := topo.Museum(opt.Seed)
+	m := backend.NewModel(sc, opt.Seed)
+	engine := sim.NewEngine(opt.Seed)
+	peak, off := stats.NewSample(8000), stats.NewSample(8000)
+	for i := 0; i < 8000; i++ {
+		peak.Add(m.SampleRSSI(engine.Rand()))
+		off.Add(m.SampleRSSI(engine.Rand()))
+	}
+	peakUse := sc.DemandAt(sc.APs[0], 13*sim.Hour)
+	offUse := sc.DemandAt(sc.APs[0], 8*sim.Hour)
+	return Report{
+		ID: "Fig 7", Title: "RSSI PDF at peak vs non-peak (MNet)",
+		Rows: []Row{
+			{"median RSSI peak vs off", "similar distributions", f1(peak.Median()) + " vs " + f1(off.Median()) + " dBm"},
+			{"usage peak vs off", "25 GB vs 12 GB (2x)", fmt.Sprintf("%.1fx", peakUse/offUse)},
+		},
+	}
+}
+
+// TurboCAExperiments runs the Table 2 / Fig 8 / Fig 9 A/B on both
+// deployments.
+func TurboCAExperiments(opt Options) []Report {
+	days := opt.abDays()
+	type ab struct {
+		daily, peak []float64
+		lat, eff    *stats.Sample
+		switches    int
+	}
+	runOne := func(build func(int64) *topo.Scenario) map[backend.Algorithm]ab {
+		out := map[backend.Algorithm]ab{}
+		for _, alg := range []backend.Algorithm{backend.AlgReservedCA, backend.AlgTurboCA} {
+			sc := build(opt.Seed)
+			engine := sim.NewEngine(1)
+			be := backend.New(backend.DefaultOptions(alg), sc, engine)
+			be.Start()
+			end := sim.Time(days) * sim.Day
+			engine.RunUntil(end)
+			usage := be.DB.Table("usage")
+			var r ab
+			for day := 1; day < days; day++ {
+				from := sim.Time(day) * sim.Day
+				r.daily = append(r.daily, usage.SumField("bytes", from, from+sim.Day)/1e12)
+				best := 0.0
+				for h := sim.Time(0); h < sim.Day; h += sim.Hour {
+					if v := usage.SumField("bytes", from+h, from+h+sim.Hour) / 1e12; v > best {
+						best = v
+					}
+				}
+				r.peak = append(r.peak, best)
+			}
+			r.lat = be.DB.Table("tcp_latency").AggregateField("ms", sim.Day, end)
+			r.eff = be.DB.Table("bitrate_eff").AggregateField("eff", sim.Day, end)
+			r.switches = be.Switches()
+			out[alg] = r
+		}
+		return out
+	}
+	mean := func(xs []float64) float64 {
+		s := stats.NewSample(len(xs))
+		s.AddAll(xs...)
+		return s.Mean()
+	}
+	std := func(xs []float64) float64 {
+		s := stats.NewSample(len(xs))
+		s.AddAll(xs...)
+		return s.Stddev()
+	}
+
+	museum := runOne(topo.Museum)
+	campus := runOne(topo.Campus)
+	mR, mT := museum[backend.AlgReservedCA], museum[backend.AlgTurboCA]
+	cR, cT := campus[backend.AlgReservedCA], campus[backend.AlgTurboCA]
+
+	table2 := Report{
+		ID: "Table 2", Title: "Daily and peak-hour usage (TB), ReservedCA vs TurboCA",
+		Rows: []Row{
+			{"UNet daily (res/turbo)", "11.3 / 10.7 (similar)", f2(mean(cR.daily)) + " / " + f2(mean(cT.daily))},
+			{"UNet peak (res/turbo)", "0.584 / 0.542 (uplink-bound)", f3(mean(cR.peak)) + " / " + f3(mean(cT.peak))},
+			{"MNet daily (res/turbo)", "0.562 / 0.564 (similar)", f2(mean(mR.daily)) + " / " + f2(mean(mT.daily))},
+			{"MNet peak gain", "+27%", pc(100 * (mean(mT.peak) - mean(mR.peak)) / mean(mR.peak))},
+			{"daily sigma small", "yes", f2(std(mR.daily)) + " / " + f2(std(mT.daily)) + " TB"},
+		},
+		Notes: "Absolute TB scale differs from the paper's deployments; the structure (daily parity, uplink-bound campus, museum peak gain) is the reproduced claim.",
+	}
+	fig8 := Report{
+		ID: "Fig 8", Title: "TCP latency CDF at MNet",
+		Rows: []Row{
+			{"median change", "-40%", pc(100 * (mT.lat.Median() - mR.lat.Median()) / mR.lat.Median())},
+			{"median (res/turbo)", "-", f1(mR.lat.Median()) + " / " + f1(mT.lat.Median()) + " ms"},
+			{">400ms tail (res/turbo)", "similar (slow clients)", pc(100*(1-mR.lat.CDF(400))) + " / " + pc(100*(1-mT.lat.CDF(400)))},
+		},
+	}
+	fig9 := Report{
+		ID: "Fig 9", Title: "Bit-rate efficiency CDF at MNet",
+		Rows: []Row{
+			{"median gain", "+15%", pc(100 * (mT.eff.Median() - mR.eff.Median()) / mR.eff.Median())},
+			{"median (res/turbo)", "-", f3(mR.eff.Median()) + " / " + f3(mT.eff.Median())},
+		},
+	}
+	return []Report{table2, fig8, fig9}
+}
+
+// FastACKExperiments runs the §5.6 testbed suite.
+func FastACKExperiments(opt Options) []Report {
+	dur := opt.testbedDur()
+	type res struct {
+		total, agg, l8, lt float64
+		perClient          []float64
+		cwnd               []int
+	}
+	cache := map[string]res{}
+	run := func(key string, mode testbed.Mode, clients int, mutate func(*testbed.Options)) res {
+		if r, ok := cache[key]; ok {
+			return r
+		}
+		o := testbed.DefaultOptions()
+		o.Seed = opt.Seed
+		o.APModes = []testbed.Mode{mode}
+		o.ClientsPerAP = clients
+		o.BadHintRate = 0.015
+		if mutate != nil {
+			mutate(&o)
+		}
+		tb := testbed.New(o)
+		tb.Run(dur)
+		var r res
+		r.agg = tb.AggAP[0].Mean()
+		r.l8, r.lt = tb.Lat80211.Mean(), tb.LatTCP.Mean()
+		for _, c := range tb.Clients {
+			g := c.GoodputMbps(dur)
+			r.perClient = append(r.perClient, g)
+			r.total += g
+		}
+		for _, snd := range tb.Senders {
+			if snd.TCP != nil {
+				r.cwnd = append(r.cwnd, snd.TCP.CwndSegments())
+			}
+		}
+		cache[key] = r
+		return r
+	}
+
+	// Fig 10: latency gap under baseline.
+	var gapRows []Row
+	for _, n := range []int{5, 15, 25} {
+		r := run(fmt.Sprintf("base%d", n), testbed.Baseline, n, nil)
+		gapRows = append(gapRows, Row{
+			fmt.Sprintf("%d clients: 802.11 / TCP", n),
+			map[int]string{5: "small gap", 15: "growing", 25: "~48 / ~85 ms (75% gap)"}[n],
+			fmt.Sprintf("%.1f / %.1f ms (%.0f%% gap)", r.l8, r.lt, 100*(r.lt-r.l8)/(r.l8+1e-9)),
+		})
+	}
+	fig10 := Report{ID: "Fig 10", Title: "802.11 latency vs TCP latency (baseline TCP)", Rows: gapRows}
+
+	// Fig 14: cwnd spread.
+	b10 := run("base10", testbed.Baseline, 10, nil)
+	f10 := run("fast10", testbed.FastACK, 10, nil)
+	sortInts := func(xs []int) []int { s := append([]int(nil), xs...); sort.Ints(s); return s }
+	bs, fs := sortInts(b10.cwnd), sortInts(f10.cwnd)
+	fig14 := Report{
+		ID: "Fig 14", Title: "Sender congestion window, 10 flows",
+		Rows: []Row{
+			{"baseline cwnd range", "spread; not all reach the 770 cap", fmt.Sprintf("%d..%d segments", bs[0], bs[len(bs)-1])},
+			{"FastACK cwnd range", "opens quickly toward the cap", fmt.Sprintf("%d..%d segments", fs[0], fs[len(fs)-1])},
+		},
+	}
+
+	// Fig 15: aggregation at 30 clients.
+	b30 := run("base30", testbed.Baseline, 30, nil)
+	f30 := run("fast30", testbed.FastACK, 30, nil)
+	u30 := run("udp30", testbed.Baseline, 30, func(o *testbed.Options) {
+		o.Traffic = testbed.UDPBulk
+		o.UDPRateMbps = 40
+	})
+	fig15 := Report{
+		ID: "Fig 15", Title: "802.11 aggregation size, 30 clients",
+		Rows: []Row{
+			{"baseline mean A-MPDU", "17-41 range", f1(b30.agg)},
+			{"FastACK mean A-MPDU", "33-56 range", f1(f30.agg)},
+			{"FastACK vs baseline", "+36-94%", pc(100 * (f30.agg - b30.agg) / b30.agg)},
+			{"UDP upper bound", "approaches 64", f1(u30.agg)},
+		},
+	}
+
+	// Fig 16: throughput sweep.
+	var sweep []Row
+	maxGain := 0.0
+	for _, n := range []int{5, 10, 15, 20, 25, 30} {
+		b := run(fmt.Sprintf("base%d", n), testbed.Baseline, n, nil)
+		f := run(fmt.Sprintf("fast%d", n), testbed.FastACK, n, nil)
+		gain := 100 * (f.total - b.total) / b.total
+		if gain > maxGain {
+			maxGain = gain
+		}
+		sweep = append(sweep, Row{
+			fmt.Sprintf("%d clients", n), "FastACK wins",
+			fmt.Sprintf("%.0f -> %.0f Mbps (%+.1f%%)", b.total, f.total, gain),
+		})
+	}
+	sweep = append(sweep, Row{"max gain", "up to +38%", pc(maxGain)})
+	fig16 := Report{
+		ID: "Fig 16", Title: "Aggregate client throughput",
+		Rows:  sweep,
+		Notes: "Deviation: the paper reports gains that broadly grow with client count; here the largest gains sit at low client counts because the simulated baseline recovers efficiency through statistical multiplexing at high counts. FastACK still wins at every point.",
+	}
+
+	// Fig 17: fairness.
+	fig17 := Report{
+		ID: "Fig 17", Title: "Per-client throughput fairness, 30 clients",
+		Rows: []Row{
+			{"Jain index (base/fastack)", "0.88 / 0.94", f2(stats.JainFairness(b30.perClient)) + " / " + f2(stats.JainFairness(f30.perClient))},
+			{"top-80% Jain (base/fastack)", "0.88 / 0.99", f2(top80(b30.perClient)) + " / " + f2(top80(f30.perClient))},
+		},
+	}
+
+	// Fig 18: multi-AP matrix, averaged over seeds (two-AP runs have high
+	// channel-realisation variance). ap1/ap2 split the total by serving
+	// AP (clients 0-9 on AP1, 10-19 on AP2).
+	type multiRes struct{ total, ap1, ap2 float64 }
+	multi := func(key string, m1, m2 testbed.Mode) multiRes {
+		var avg multiRes
+		const seeds = 3
+		for s := int64(0); s < seeds; s++ {
+			r := run(fmt.Sprintf("%s-%d", key, s), m1, 10, func(o *testbed.Options) {
+				o.Seed = opt.Seed + s
+				o.APModes = []testbed.Mode{m1, m2}
+			})
+			avg.total += r.total / seeds
+			for i, g := range r.perClient {
+				if i < 10 {
+					avg.ap1 += g / seeds
+				} else {
+					avg.ap2 += g / seeds
+				}
+			}
+		}
+		return avg
+	}
+	bb := multi("m-bb", testbed.Baseline, testbed.Baseline)
+	bf := multi("m-bf", testbed.Baseline, testbed.FastACK)
+	ff := multi("m-ff", testbed.FastACK, testbed.FastACK)
+	fig18 := Report{
+		ID: "Fig 18", Title: "Multi-AP deployment (2 APs x 10 clients, 3-seed mean)",
+		Rows: []Row{
+			{"both baseline", "251 Mbps", f1(bb.total) + " Mbps"},
+			{"mixed total", "325 Mbps (net positive)", fmt.Sprintf("%.1f Mbps (%+.1f%% vs both-baseline)", bf.total, 100*(bf.total-bb.total)/bb.total)},
+			{"mixed split: FastACK AP vs baseline AP", "240 vs 85 Mbps (FastACK AP wins airtime)", fmt.Sprintf("%.1f vs %.1f Mbps", bf.ap2, bf.ap1)},
+			{"both FastACK", "395 Mbps (+51%)", fmt.Sprintf("%.1f Mbps (%+.1f%%)", ff.total, 100*(ff.total-bb.total)/bb.total)},
+		},
+		Notes: "Deviation: the paper's multi-AP totals grow up to +51%; in this substrate the three cases land within ~10% of each other because the baseline APs already keep the shared channel busy. The robust qualitative result is the mixed split: the FastACK AP outperforms its baseline neighbor on the same air.",
+	}
+
+	return []Report{fig10, fig14, fig15, fig16, fig17, fig18}
+}
+
+func top80(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return stats.JainFairness(s[len(s)/5:])
+}
+
+// Markdown renders reports as the EXPERIMENTS.md body.
+func Markdown(reports []Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+		fmt.Fprintf(&b, "| metric | paper | measured |\n|---|---|---|\n")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "| %s | %s | %s |\n", row.Metric, row.Paper, row.Measured)
+		}
+		if r.Notes != "" {
+			fmt.Fprintf(&b, "\n%s\n", r.Notes)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Text renders reports for terminals.
+func Text(reports []Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		fmt.Fprintf(&b, "=== %s — %s\n", r.ID, r.Title)
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "  %-32s paper: %-28s measured: %s\n", row.Metric, row.Paper, row.Measured)
+		}
+		if r.Notes != "" {
+			fmt.Fprintf(&b, "  note: %s\n", r.Notes)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fleet"
+)
+
+// The full experiment suite is exercised by cmd/experiments and the root
+// benchmarks; these tests cover the cheap experiments and the renderers.
+
+func TestFleetExperiments(t *testing.T) {
+	fl := fleet.Generate(fleet.Options{Seed: 7, Networks: 120})
+	for _, r := range []Report{Fig1(Options{Seed: 7}), Fig2(fl), Fig3(fl), Fig5(fl), Table1(fl)} {
+		if r.ID == "" || r.Title == "" {
+			t.Fatalf("incomplete report: %+v", r)
+		}
+		if len(r.Rows) == 0 {
+			t.Fatalf("%s has no rows", r.ID)
+		}
+		for _, row := range r.Rows {
+			if row.Metric == "" || row.Measured == "" {
+				t.Fatalf("%s has an empty row: %+v", r.ID, row)
+			}
+		}
+	}
+}
+
+func TestFig4Ordering(t *testing.T) {
+	r := Fig4(Options{Seed: 9, Quick: true})
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows: %+v", r.Rows)
+	}
+	// The measured string embeds the ordering claim; it must at least
+	// mention all four categories.
+	for _, ac := range []string{"VO", "VI", "BE", "BK"} {
+		if !strings.Contains(r.Rows[0].Measured, ac) {
+			t.Fatalf("latency row missing %s: %q", ac, r.Rows[0].Measured)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	reports := []Report{
+		{ID: "Fig X", Title: "Test", Rows: []Row{{"m", "p", "v"}}, Notes: "n"},
+	}
+	md := Markdown(reports)
+	if !strings.Contains(md, "## Fig X") || !strings.Contains(md, "| m | p | v |") {
+		t.Fatalf("markdown: %q", md)
+	}
+	txt := Text(reports)
+	if !strings.Contains(txt, "=== Fig X") || !strings.Contains(txt, "note: n") {
+		t.Fatalf("text: %q", txt)
+	}
+}
+
+func TestFig6And7(t *testing.T) {
+	opt := Options{Seed: 3, Quick: true}
+	if r := Fig6(opt); len(r.Rows) != 2 {
+		t.Fatalf("Fig6: %+v", r)
+	}
+	if r := Fig7(opt); len(r.Rows) != 2 {
+		t.Fatalf("Fig7: %+v", r)
+	}
+}

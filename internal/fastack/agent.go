@@ -1,0 +1,539 @@
+// Package fastack implements the FastACK agent of Section 5: an AP-side
+// mechanism that converts 802.11 block-acknowledgement feedback into
+// proactively generated TCP ACKs ("fast ACKs") toward the sender,
+// suppresses the client's now-duplicate TCP ACKs, serves duplicate-ACK and
+// SACK retransmissions from a local cache, rewrites the advertised receive
+// window to prevent client buffer overflow, and emulates the client for
+// upstream packet loss (TCP holes).
+//
+// The agent is transport-glue agnostic: it consumes decoded datagrams and
+// returns dispositions (forward / drop / elevate) plus any packets to
+// inject toward the sender or the client. The testbed package wires it
+// between the wired port and the MAC layer of an AP.
+package fastack
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Config tunes the agent.
+type Config struct {
+	// CacheLimitBytes bounds the per-flow retransmission cache. Zero
+	// means the default of 4 MiB (a full receive window).
+	CacheLimitBytes int
+	// DupAckThreshold is how many duplicate client ACKs trigger a local
+	// retransmission. The classic value is 3; FastACK can afford 2
+	// because the AP knows link-layer delivery state.
+	DupAckThreshold int
+	// RtxGuard is the minimum interval between local retransmissions of
+	// the same hole; duplicate ACKs arriving inside the window are
+	// absorbed. Roughly one over-the-air round trip.
+	RtxGuard sim.Time
+	// FlowQueueBudget bounds the bytes one flow may hold in the AP's
+	// driver queue: the generated window is additionally clamped to
+	// budget − (seq_high − seq_fack). §5.5.2 clamps only against the
+	// client's buffer; any deployment must also avoid overrunning the
+	// AP's own tx-descriptor pool, which would turn the fast-ACK
+	// pipeline's pressure into tail drops. Zero disables the clamp.
+	FlowQueueBudget int
+	// MarkAllFlows fast-acks every TCP flow when true (footnote 10 of the
+	// paper). When false, only flows that have carried MinFlowBytes of
+	// downlink payload are promoted.
+	MarkAllFlows bool
+	MinFlowBytes int
+	// IdleExpiry is how long a flow may be quiet before Sweep drops its
+	// state.
+	IdleExpiry sim.Time
+
+	// Ablation switches (benchmarked in bench_test.go; off in production).
+	//
+	// DisableSuppression forwards the client's duplicate TCP ACKs to the
+	// sender instead of dropping them: the sender then sees dup-ACK
+	// storms for data it believes acknowledged.
+	DisableSuppression bool
+	// DisableCache turns off the local retransmission cache: duplicate
+	// ACKs are forwarded so the sender repairs end-to-end (§5.5.1 asks
+	// "why not let the TCP sender handle these retransmissions?").
+	DisableCache bool
+}
+
+// DefaultConfig returns the production-like defaults.
+func DefaultConfig() Config {
+	return Config{
+		CacheLimitBytes: 4 << 20,
+		DupAckThreshold: 2,
+		RtxGuard:        15 * sim.Millisecond,
+		MarkAllFlows:    true,
+		MinFlowBytes:    64 << 10,
+		IdleExpiry:      5 * sim.Minute,
+	}
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	FastAcksSent      int64
+	ClientAcksDropped int64
+	SpuriousDrops     int64 // case (i): retransmissions below seq_fack
+	ElevatedForwards  int64 // case (ii): end-to-end retransmissions
+	HolesDetected     int64 // case (iv): upstream losses
+	HoleDupAcksSent   int64
+	LocalRetransmits  int64
+	WirelessRedrives  int64 // cache re-injections after MAC drop
+	BadHints          int64 // client dup-ACK for data we fast-acked
+	CacheEvictions    int64
+	WindowUpdates     int64
+	FlowsTracked      int64
+}
+
+// Disposition tells the AP datapath what to do with a packet and what to
+// inject.
+type Disposition struct {
+	// Forward: pass the packet along its normal path.
+	Forward bool
+	// Elevate: transmit ahead of queued packets (priority elevation for
+	// end-to-end retransmissions, case (ii)).
+	Elevate bool
+	// ToSender carries generated packets (fast ACKs, hole dup-ACKs,
+	// window updates) to inject toward the wired TCP sender.
+	ToSender []*packet.Datagram
+	// ToClient carries local retransmissions to enqueue toward the
+	// wireless client, ahead of new data.
+	ToClient []*packet.Datagram
+}
+
+var forwardOnly = Disposition{Forward: true}
+
+// Agent is one AP's FastACK engine. It is single-goroutine like the Click
+// datapath it models; the owning simulator serialises calls.
+type Agent struct {
+	cfg   Config
+	now   func() sim.Time
+	flows map[packet.Flow]*flowState
+	stats Stats
+}
+
+// New creates an agent. now supplies the current simulation time (used for
+// idle expiry).
+func New(cfg Config, now func() sim.Time) *Agent {
+	if cfg.CacheLimitBytes == 0 {
+		cfg.CacheLimitBytes = 4 << 20
+	}
+	if cfg.DupAckThreshold == 0 {
+		cfg.DupAckThreshold = 2
+	}
+	if cfg.RtxGuard == 0 {
+		cfg.RtxGuard = 15 * sim.Millisecond
+	}
+	if cfg.IdleExpiry == 0 {
+		cfg.IdleExpiry = 5 * sim.Minute
+	}
+	if now == nil {
+		now = func() sim.Time { return 0 }
+	}
+	return &Agent{cfg: cfg, now: now, flows: map[packet.Flow]*flowState{}}
+}
+
+// Stats returns a snapshot of the counters.
+func (a *Agent) Stats() Stats { return a.stats }
+
+// FlowCount returns the number of tracked flows.
+func (a *Agent) FlowCount() int { return len(a.flows) }
+
+// flowFor returns (creating if needed) state for the downlink flow key.
+func (a *Agent) flowFor(key packet.Flow) *flowState {
+	f, ok := a.flows[key]
+	if !ok {
+		f = &flowState{flow: key, senderWScale: -1, clientWScale: -1}
+		a.flows[key] = f
+		a.stats.FlowsTracked++
+	}
+	return f
+}
+
+// HandleDownlink processes a packet travelling wired -> wireless (TCP
+// sender to client). It implements the four §5.4 data-flow cases.
+func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
+	if d.TCP == nil {
+		return forwardOnly
+	}
+	t := d.TCP
+	key := d.Flow()
+
+	// Handshake: learn the sender's window scale and seed pointers.
+	if t.HasFlag(packet.FlagSYN) {
+		f := a.flowFor(key)
+		f.senderWScale = 0
+		if t.WindowScale >= 0 {
+			f.senderWScale = t.WindowScale
+		}
+		f.initAt(t.Seq + 1)
+		return forwardOnly
+	}
+	if t.HasFlag(packet.FlagRST) {
+		delete(a.flows, key)
+		return forwardOnly
+	}
+	if d.PayloadLen == 0 {
+		return forwardOnly // bare ACK (e.g. handshake completion)
+	}
+
+	f := a.flowFor(key)
+	f.lastFastAckAt = a.now()
+
+	// Flow selection (footnote 10): below the promotion threshold the
+	// packet passes through untouched and no state machine runs. The
+	// sequence pointers keep following the stream so promotion can start
+	// cleanly mid-flow.
+	if !a.cfg.MarkAllFlows && !f.promoted {
+		f.bytesSeen += int64(d.PayloadLen)
+		if f.bytesSeen < int64(a.cfg.MinFlowBytes) {
+			f.initAt(t.Seq + uint32(d.PayloadLen)) // track the frontier
+			return forwardOnly
+		}
+		f.promoted = true
+	}
+
+	if !f.initialized {
+		f.initAt(t.Seq) // mid-flow adoption
+	}
+
+	seqIn := t.Seq
+	end := seqIn + uint32(d.PayloadLen)
+	disp := Disposition{Forward: true}
+
+	switch {
+	case seqLT(seqIn, f.seqFack):
+		// (i) Spurious retransmission: already fast-ACKed. Drop.
+		a.stats.SpuriousDrops++
+		return Disposition{Forward: false}
+
+	case seqLT(seqIn, f.seqExp):
+		// (ii) End-to-end retransmission of data the AP has seen but the
+		// client has not acknowledged at the 802.11 layer. Forward with
+		// priority elevation.
+		a.stats.ElevatedForwards++
+		disp.Elevate = true
+		a.cacheInsert(f, d)
+		return disp
+
+	case seqIn == f.seqExp:
+		// (iii) In order: cache, forward, advance expectations.
+		a.cacheInsert(f, d)
+		f.advanceExp(end)
+		if seqLT(f.seqHigh, end) {
+			f.seqHigh = end
+		}
+		return disp
+
+	default:
+		// (iv) seqIn > seqExp: a queue upstream dropped packets. Record
+		// the hole, emulate the client's duplicate ACK (with SACK when
+		// supported) so the sender repairs it early (§5.5.3), then treat
+		// the packet as (iii).
+		a.stats.HolesDetected++
+		f.addAbove(seqIn, end)
+		if seqLT(f.seqHigh, end) {
+			f.seqHigh = end
+		}
+		dup := a.buildAck(f, f.seqExp)
+		if f.clientSACKOK || f.clientWScale < 0 {
+			dup.TCP.SACK = append(dup.TCP.SACK, packet.SACKBlock{Left: seqIn, Right: end})
+		}
+		a.stats.HoleDupAcksSent++
+		disp.ToSender = append(disp.ToSender, dup)
+		a.cacheInsert(f, d)
+		return disp
+	}
+}
+
+func (a *Agent) cacheInsert(f *flowState, d *packet.Datagram) {
+	if a.cfg.DisableCache {
+		return
+	}
+	if ev := f.cacheInsert(d, a.cfg.CacheLimitBytes); ev > 0 {
+		a.stats.CacheEvictions++
+	}
+}
+
+// HandleWirelessAck reports link-layer fate for a downlink data packet:
+// ok=true when the block ACK covered it (the 802.11 ACK of §5.2), ok=false
+// when the MAC dropped it after exhausting retries.
+func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
+	if d.TCP == nil || d.PayloadLen == 0 {
+		return Disposition{}
+	}
+	f, tracked := a.flows[d.Flow()]
+	if !tracked || !f.initialized {
+		return Disposition{}
+	}
+	if !a.cfg.MarkAllFlows && !f.promoted {
+		return Disposition{} // not fast-acked yet (footnote 10 gating)
+	}
+	var disp Disposition
+	if !ok {
+		// The MAC gave up on this MPDU. Re-drive it from the cache so the
+		// transfer continues without waiting for the sender's RTO; if the
+		// link stays bad, no fast ACKs advance and the sender times out,
+		// which is the desired §5.5.1 fallback.
+		if cached := f.cacheLookup(d.TCP.Seq); cached != nil {
+			a.stats.WirelessRedrives++
+			disp.ToClient = append(disp.ToClient, cached.Clone())
+		}
+		return disp
+	}
+
+	f.enqueueAcked(d.TCP.Seq, d.PayloadLen)
+	if _, advanced := f.drainContiguous(); advanced {
+		// One cumulative fast ACK covers the whole contiguous run (the
+		// production agent coalesces; the sender's byte-counting cwnd
+		// growth is unaffected).
+		fa := a.buildAck(f, f.seqFack)
+		a.stats.FastAcksSent++
+		f.lastFastAckAt = a.now()
+		disp.ToSender = append(disp.ToSender, fa)
+	}
+	return disp
+}
+
+// HandleUplink processes a packet travelling wireless -> wired (client to
+// sender). Pure ACKs for fast-acked flows are suppressed; duplicate ACKs
+// trigger local retransmission from the cache.
+func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
+	if d.TCP == nil {
+		return forwardOnly
+	}
+	t := d.TCP
+	// The downlink flow key is the reverse of this packet's flow.
+	key := d.Flow().Reverse()
+	f, tracked := a.flows[key]
+
+	if t.HasFlag(packet.FlagSYN | packet.FlagACK) {
+		// Client's half of the handshake: learn its window scaling and
+		// SACK capability.
+		f = a.flowFor(key)
+		f.clientWScale = 0
+		if t.WindowScale >= 0 {
+			f.clientWScale = t.WindowScale
+		}
+		f.clientSACKOK = t.SACKPermitted
+		f.clientWindow = int(t.Window) << f.clientWScale
+		return forwardOnly
+	}
+	if !tracked || !f.initialized || t.HasFlag(packet.FlagRST) || t.HasFlag(packet.FlagFIN) || d.PayloadLen > 0 {
+		return forwardOnly
+	}
+	if !a.cfg.MarkAllFlows && !f.promoted {
+		// Unpromoted flows keep their native end-to-end ACK loop.
+		return forwardOnly
+	}
+	if !t.HasFlag(packet.FlagACK) {
+		return forwardOnly
+	}
+
+	// Pure TCP ACK from the client.
+	wscale := f.clientWScale
+	if wscale < 0 {
+		wscale = 0
+	}
+	f.clientWindow = int(t.Window) << wscale
+
+	ack := t.Ack
+	var disp Disposition // suppress by default (Forward=false)
+	if a.cfg.DisableSuppression {
+		disp.Forward = true
+	} else {
+		a.stats.ClientAcksDropped++
+	}
+
+	switch {
+	case seqLT(f.seqTCP, ack):
+		wasZero := f.zeroWindowSent
+		f.seqTCP = ack
+		f.cachePurge(ack)
+		f.dupAcksFromClient = 0
+		f.lastClientAck = ack
+		if wasZero && f.advertisedWindow(a.cfg.FlowQueueBudget) >= lowWindowBytes {
+			// The sender was window-limited on our clamped advertisement;
+			// release it now that the client drained (§5.5.2).
+			up := a.buildAck(f, f.seqFack)
+			a.stats.WindowUpdates++
+			disp.ToSender = append(disp.ToSender, up)
+		}
+
+	case ack == f.lastClientAck:
+		f.dupAcksFromClient++
+		if seqLT(ack, f.seqFack) {
+			// We vouched for this data with a fast ACK and the client
+			// disagrees: an inaccurate 802.11 ACK (§5.7).
+			a.stats.BadHints++
+		}
+		if f.dupAcksFromClient >= a.cfg.DupAckThreshold {
+			f.dupAcksFromClient = 0
+			if a.cfg.DisableCache {
+				// Ablation: no cache, so the sender must repair — let its
+				// dup-ACK through even under suppression.
+				disp.Forward = true
+			} else {
+				now := a.now()
+				if ack != f.lastRtxSeq || now-f.lastRtxAt >= a.cfg.RtxGuard {
+					f.lastRtxSeq = ack
+					f.lastRtxAt = now
+					disp.ToClient = append(disp.ToClient, a.retransmitFromCache(f, ack, t.SACK)...)
+				}
+			}
+		}
+	default:
+		f.lastClientAck = ack
+	}
+
+	if seqLT(f.seqFack, ack) {
+		// The client acknowledged beyond our fast-ack point (should not
+		// happen with accurate hints); forward rather than lose
+		// information.
+		if !a.cfg.DisableSuppression {
+			a.stats.ClientAcksDropped--
+		}
+		disp.Forward = true
+	}
+	return disp
+}
+
+// retransmitFromCache returns clones of cached segments the client is
+// missing: the segment at ack, plus any holes implied by SACK blocks,
+// bounded per invocation so one duplicate ACK cannot flood the air.
+func (a *Agent) retransmitFromCache(f *flowState, ack uint32, sack []packet.SACKBlock) []*packet.Datagram {
+	const maxPerEvent = 16
+	var out []*packet.Datagram
+	if d := f.cacheLookup(ack); d != nil {
+		a.stats.LocalRetransmits++
+		out = append(out, d.Clone())
+	}
+	// SACK-based: retransmit cached data between ack and the lowest SACK
+	// edge that is not covered by any block.
+	for _, blk := range sack {
+		for _, d := range f.cacheRange(ack, blk.Left) {
+			if len(out) >= maxPerEvent {
+				return out
+			}
+			if covered(d.TCP.Seq, sack) || d.TCP.Seq == ack {
+				continue
+			}
+			a.stats.LocalRetransmits++
+			out = append(out, d.Clone())
+		}
+	}
+	return out
+}
+
+func covered(seq uint32, sack []packet.SACKBlock) bool {
+	for _, b := range sack {
+		if seqLEQ(b.Left, seq) && seqLT(seq, b.Right) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildAck constructs a TCP ACK from the client toward the sender with the
+// clamped advertised window rx'_win = rx_win − out_bytes.
+func (a *Agent) buildAck(f *flowState, ackNo uint32) *packet.Datagram {
+	// The generated packet impersonates the client: source is the
+	// downlink flow's destination.
+	d := packet.NewTCPDatagram(f.flow.Dst, f.flow.Src, 0)
+	d.TCP.Ack = ackNo
+	d.TCP.Flags = packet.FlagACK
+	wscale := f.clientWScale
+	if wscale < 0 {
+		wscale = 0
+	}
+	advBytes := f.advertisedWindow(a.cfg.FlowQueueBudget)
+	adv := advBytes >> wscale
+	if adv > 65535 {
+		adv = 65535
+	}
+	// Anything below a couple of segments stalls the sender as surely as
+	// zero; remember it so the next client-ACK progress triggers a window
+	// update toward the sender.
+	f.zeroWindowSent = advBytes < lowWindowBytes
+	d.TCP.Window = uint16(adv)
+	return d
+}
+
+// lowWindowBytes is the advertised-window level below which the sender is
+// effectively stalled and must be woken by a window update.
+const lowWindowBytes = 3 * 1448
+
+// Sweep drops state for flows idle longer than the configured expiry and
+// returns how many were removed.
+func (a *Agent) Sweep() int {
+	now := a.now()
+	removed := 0
+	for key, f := range a.flows {
+		if now-f.lastFastAckAt > a.cfg.IdleExpiry {
+			delete(a.flows, key)
+			removed++
+		}
+	}
+	return removed
+}
+
+// ExportedFlow serialises a flow's state for roaming transfer (§5.5.4);
+// the roam-to AP imports it so local retransmissions and window
+// accounting continue seamlessly.
+type ExportedFlow struct {
+	Flow    packet.Flow
+	SeqHigh uint32
+	SeqExp  uint32
+	SeqFack uint32
+	SeqTCP  uint32
+	// Client-side window knowledge: without it the roam-to agent would
+	// advertise rx'_win = 0 and strand the sender.
+	ClientWindow int
+	ClientWScale int
+	ClientSACKOK bool
+	Cache        []*packet.Datagram
+}
+
+// Drop removes a flow's state (after exporting it to a roam-to AP).
+func (a *Agent) Drop(key packet.Flow) { delete(a.flows, key) }
+
+// Export returns the state for a flow, or false if untracked.
+func (a *Agent) Export(key packet.Flow) (ExportedFlow, bool) {
+	f, ok := a.flows[key]
+	if !ok {
+		return ExportedFlow{}, false
+	}
+	ex := ExportedFlow{
+		Flow: key, SeqHigh: f.seqHigh, SeqExp: f.seqExp,
+		SeqFack: f.seqFack, SeqTCP: f.seqTCP,
+		ClientWindow: f.clientWindow, ClientWScale: f.clientWScale,
+		ClientSACKOK: f.clientSACKOK,
+	}
+	for _, c := range f.cache {
+		ex.Cache = append(ex.Cache, c.dgram.Clone())
+	}
+	return ex, true
+}
+
+// Import installs exported state on this agent (the roam-to AP) and
+// returns a resynchronisation ACK the caller must forward to the TCP
+// sender: it re-advertises the window from the new AP, so a sender
+// stalled on the roam-from AP's last (possibly zero) advertisement
+// resumes immediately.
+func (a *Agent) Import(ex ExportedFlow) *packet.Datagram {
+	f := a.flowFor(ex.Flow)
+	f.initialized = true
+	f.seqHigh = ex.SeqHigh
+	f.seqExp = ex.SeqExp
+	f.seqFack = ex.SeqFack
+	f.seqTCP = ex.SeqTCP
+	f.clientWindow = ex.ClientWindow
+	f.clientWScale = ex.ClientWScale
+	f.clientSACKOK = ex.ClientSACKOK
+	f.lastFastAckAt = a.now()
+	for _, d := range ex.Cache {
+		f.cacheInsert(d, a.cfg.CacheLimitBytes)
+	}
+	return a.buildAck(f, f.seqFack)
+}

@@ -1,0 +1,248 @@
+package fastack
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// seqLT reports a < b in 32-bit TCP sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLEQ reports a <= b in sequence space.
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// ackedSeg is one TCP segment acknowledged at the 802.11 layer but not yet
+// fast-ACKed: an entry of the paper's q_seq.
+type ackedSeg struct {
+	seq uint32
+	len int
+}
+
+// cachedSeg is one retransmission-cache entry.
+type cachedSeg struct {
+	seq   uint32
+	end   uint32
+	dgram *packet.Datagram
+}
+
+// flowState is the per-flow FastACK state, Table 3 of the paper:
+//
+//	holes_vec  TCP holes vector                         -> above (rangeSet)
+//	seq_high   highest TCP data seq seen                -> seqHigh
+//	seq_exp    expected TCP data seq from the sender    -> seqExp
+//	seq_fack   last fast-acked TCP data seq by the AP   -> seqFack
+//	seq_TCP    last TCP data seq ACKed at the TCP layer -> seqTCP
+//	q_seq      queue of seqs waiting to be fast-ACKed   -> qSeq
+//
+// All sequence fields hold "next byte" cumulative positions, so seqFack is
+// directly usable as the Ack field of a generated fast ACK.
+type flowState struct {
+	flow packet.Flow // downlink direction: sender -> client
+
+	seqHigh uint32
+	seqExp  uint32
+	seqFack uint32
+	seqTCP  uint32
+
+	qSeq []ackedSeg // sorted by seq, disjoint
+
+	// above records byte ranges received from the sender beyond seqExp
+	// (the holes vector complement: the data we *do* have above a hole).
+	above []packet.SACKBlock
+
+	// cache is the local retransmission cache, ordered by seq.
+	cache      []cachedSeg
+	cacheBytes int
+
+	// Client-side knowledge for window rewriting (§5.5.2).
+	clientWindow      int // last advertised rx_win in bytes (unscaled)
+	clientWScale      int
+	senderWScale      int
+	clientSACKOK      bool
+	initialized       bool
+	lastFastAckAt     sim.Time
+	dupAcksFromClient int
+	lastClientAck     uint32
+	zeroWindowSent    bool
+
+	// Local-retransmission guard: a hole is redriven at most once per
+	// guard window, however many duplicate ACKs the client emits for it
+	// (an A-MPDU landing behind a hole produces one dup-ACK per subframe).
+	lastRtxSeq uint32
+	lastRtxAt  sim.Time
+
+	// Flow-selection state (footnote 10): when MarkAllFlows is false, a
+	// flow is only promoted to fast-acking after it has carried
+	// MinFlowBytes of downlink payload — short flows are not worth the
+	// state.
+	bytesSeen int64
+	promoted  bool
+}
+
+func (f *flowState) String() string {
+	return fmt.Sprintf("flow %v exp=%d fack=%d tcp=%d high=%d q=%d cache=%d",
+		f.flow, f.seqExp, f.seqFack, f.seqTCP, f.seqHigh, len(f.qSeq), len(f.cache))
+}
+
+// initAt seeds the sequence pointers when the first data (or handshake)
+// packet is observed.
+func (f *flowState) initAt(seq uint32) {
+	f.seqExp = seq
+	f.seqFack = seq
+	f.seqTCP = seq
+	f.seqHigh = seq
+	f.initialized = true
+}
+
+// outstandingBytes is out_bytes = seq_high − seq_TCP: everything the client
+// has not actually acknowledged at the TCP layer, including data still
+// queued in the AP driver (§5.5.2).
+func (f *flowState) outstandingBytes() int {
+	return int(f.seqHigh - f.seqTCP)
+}
+
+// advertisedWindow computes rx'_win = rx_win − out_bytes, additionally
+// clamped so the flow's unacknowledged-at-802.11 backlog (seq_high −
+// seq_fack ≈ bytes in the AP driver queue or in the air) stays within the
+// per-flow queue budget. Clamped at 0.
+func (f *flowState) advertisedWindow(queueBudget int) int {
+	w := f.clientWindow - f.outstandingBytes()
+	if queueBudget > 0 {
+		if q := queueBudget - int(f.seqHigh-f.seqFack); q < w {
+			w = q
+		}
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// enqueueAcked inserts an 802.11-acknowledged segment into q_seq, keeping
+// the queue sorted and dropping duplicates (MAC-layer retransmissions can
+// deliver the same MPDU's ACK twice).
+func (f *flowState) enqueueAcked(seq uint32, length int) {
+	i := sort.Search(len(f.qSeq), func(i int) bool { return !seqLT(f.qSeq[i].seq, seq) })
+	if i < len(f.qSeq) && f.qSeq[i].seq == seq {
+		return
+	}
+	f.qSeq = append(f.qSeq, ackedSeg{})
+	copy(f.qSeq[i+1:], f.qSeq[i:])
+	f.qSeq[i] = ackedSeg{seq: seq, len: length}
+}
+
+// drainContiguous pops entries off q_seq while they continue seq_fack,
+// returning the new cumulative fast-ack point and whether it advanced
+// (Fig 12's continuity loop).
+func (f *flowState) drainContiguous() (newFack uint32, advanced bool) {
+	for len(f.qSeq) > 0 {
+		head := f.qSeq[0]
+		if head.seq != f.seqFack {
+			// Continuity broken: wait for the missing 802.11 ACK.
+			if seqLT(head.seq, f.seqFack) {
+				// Stale entry below the fast-ack point; discard.
+				f.qSeq = f.qSeq[1:]
+				continue
+			}
+			break
+		}
+		f.seqFack = head.seq + uint32(head.len)
+		f.qSeq = f.qSeq[1:]
+		advanced = true
+	}
+	return f.seqFack, advanced
+}
+
+// cacheInsert stores a clone of the data packet for local retransmission.
+// Returns the evicted byte count if the cache limit forced eviction.
+func (f *flowState) cacheInsert(d *packet.Datagram, limitBytes int) (evicted int) {
+	seq := d.TCP.Seq
+	end := seq + uint32(d.PayloadLen)
+	i := sort.Search(len(f.cache), func(i int) bool { return !seqLT(f.cache[i].seq, seq) })
+	if i < len(f.cache) && f.cache[i].seq == seq {
+		return 0 // already cached (end-to-end retransmission)
+	}
+	f.cache = append(f.cache, cachedSeg{})
+	copy(f.cache[i+1:], f.cache[i:])
+	f.cache[i] = cachedSeg{seq: seq, end: end, dgram: d.Clone()}
+	f.cacheBytes += d.PayloadLen
+	for limitBytes > 0 && f.cacheBytes > limitBytes && len(f.cache) > 1 {
+		// Evict the oldest (lowest seq): it is the most likely to have
+		// been delivered already.
+		old := f.cache[0]
+		f.cache = f.cache[1:]
+		n := int(old.end - old.seq)
+		f.cacheBytes -= n
+		evicted += n
+	}
+	return evicted
+}
+
+// cachePurge drops cache entries fully acknowledged at or below ack.
+func (f *flowState) cachePurge(ack uint32) {
+	i := 0
+	for i < len(f.cache) && seqLEQ(f.cache[i].end, ack) {
+		f.cacheBytes -= int(f.cache[i].end - f.cache[i].seq)
+		i++
+	}
+	if i > 0 {
+		f.cache = f.cache[i:]
+	}
+}
+
+// cacheLookup returns the cached segment starting at seq, or nil.
+func (f *flowState) cacheLookup(seq uint32) *packet.Datagram {
+	i := sort.Search(len(f.cache), func(i int) bool { return !seqLT(f.cache[i].seq, seq) })
+	if i < len(f.cache) && f.cache[i].seq == seq {
+		return f.cache[i].dgram
+	}
+	return nil
+}
+
+// cacheRange returns cached segments overlapping [left, right).
+func (f *flowState) cacheRange(left, right uint32) []*packet.Datagram {
+	var out []*packet.Datagram
+	for _, c := range f.cache {
+		if seqLT(c.seq, right) && seqLT(left, c.end) {
+			out = append(out, c.dgram)
+		}
+	}
+	return out
+}
+
+// addAbove records a received byte range beyond seqExp and merges overlaps.
+func (f *flowState) addAbove(left, right uint32) {
+	f.above = append(f.above, packet.SACKBlock{Left: left, Right: right})
+	sort.Slice(f.above, func(i, j int) bool { return seqLT(f.above[i].Left, f.above[j].Left) })
+	merged := f.above[:0]
+	for _, b := range f.above {
+		if n := len(merged); n > 0 && seqLEQ(b.Left, merged[n-1].Right) {
+			if seqLT(merged[n-1].Right, b.Right) {
+				merged[n-1].Right = b.Right
+			}
+			continue
+		}
+		merged = append(merged, b)
+	}
+	f.above = merged
+}
+
+// advanceExp moves seqExp past end and then over any contiguous ranges
+// already received above it (hole filling).
+func (f *flowState) advanceExp(end uint32) {
+	if seqLT(f.seqExp, end) {
+		f.seqExp = end
+	}
+	for len(f.above) > 0 && seqLEQ(f.above[0].Left, f.seqExp) {
+		if seqLT(f.seqExp, f.above[0].Right) {
+			f.seqExp = f.above[0].Right
+		}
+		f.above = f.above[1:]
+	}
+}
+
+// hasHole reports whether upstream losses left gaps below seqHigh.
+func (f *flowState) hasHole() bool { return len(f.above) > 0 }

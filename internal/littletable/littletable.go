@@ -1,0 +1,226 @@
+// Package littletable is a small in-memory time-series store modeled on
+// LittleTable (Rhea et al., SIGMOD '17), the database the Meraki backend
+// uses to hold per-AP statistics (§2.2). It stores rows clustered by
+// (table, key) and ordered by timestamp, and supports the access patterns
+// the backend needs: time-ordered appends, time-range scans, latest-value
+// lookups, downsampling, and retention trimming.
+package littletable
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Row is one observation: a timestamp plus named numeric fields.
+type Row struct {
+	At     sim.Time
+	Fields map[string]float64
+}
+
+// Field returns the named field value, or 0 if absent.
+func (r Row) Field(name string) float64 { return r.Fields[name] }
+
+type series struct {
+	rows []Row
+	// unsorted marks that an out-of-order append happened and rows need
+	// re-sorting before the next read.
+	unsorted bool
+}
+
+func (s *series) ensureSorted() {
+	if s.unsorted {
+		sort.SliceStable(s.rows, func(i, j int) bool { return s.rows[i].At < s.rows[j].At })
+		s.unsorted = false
+	}
+}
+
+// Table holds the series of every key within one logical table.
+type Table struct {
+	name   string
+	byKey  map[string]*series
+	nowRef func() sim.Time
+}
+
+// DB is a collection of named tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty store.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Table returns (creating if needed) the named table.
+func (db *DB) Table(name string) *Table {
+	t, ok := db.tables[name]
+	if !ok {
+		t = &Table{name: name, byKey: map[string]*series{}}
+		db.tables[name] = t
+	}
+	return t
+}
+
+// TableNames returns all table names in sorted order.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends a row for key. Appends are expected to be in time order
+// (the common case for a poller); out-of-order inserts are accepted and
+// lazily re-sorted.
+func (t *Table) Insert(key string, at sim.Time, fields map[string]float64) {
+	s, ok := t.byKey[key]
+	if !ok {
+		s = &series{}
+		t.byKey[key] = s
+	}
+	if n := len(s.rows); n > 0 && s.rows[n-1].At > at {
+		s.unsorted = true
+	}
+	s.rows = append(s.rows, Row{At: at, Fields: fields})
+}
+
+// InsertValue appends a single-field row.
+func (t *Table) InsertValue(key string, at sim.Time, field string, v float64) {
+	t.Insert(key, at, map[string]float64{field: v})
+}
+
+// Keys returns every key with at least one row, sorted.
+func (t *Table) Keys() []string {
+	out := make([]string, 0, len(t.byKey))
+	for k := range t.byKey {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of rows stored for key.
+func (t *Table) Len(key string) int {
+	if s, ok := t.byKey[key]; ok {
+		return len(s.rows)
+	}
+	return 0
+}
+
+// Range returns the rows for key with from <= At < to, in time order. The
+// returned slice aliases internal storage and must not be modified.
+func (t *Table) Range(key string, from, to sim.Time) []Row {
+	s, ok := t.byKey[key]
+	if !ok {
+		return nil
+	}
+	s.ensureSorted()
+	lo := sort.Search(len(s.rows), func(i int) bool { return s.rows[i].At >= from })
+	hi := sort.Search(len(s.rows), func(i int) bool { return s.rows[i].At >= to })
+	return s.rows[lo:hi]
+}
+
+// Latest returns the most recent row for key.
+func (t *Table) Latest(key string) (Row, bool) {
+	s, ok := t.byKey[key]
+	if !ok || len(s.rows) == 0 {
+		return Row{}, false
+	}
+	s.ensureSorted()
+	return s.rows[len(s.rows)-1], true
+}
+
+// FieldSeries extracts one field across a time range as (time, value) pairs.
+type Point struct {
+	At sim.Time
+	V  float64
+}
+
+// FieldRange returns the named field over [from, to).
+func (t *Table) FieldRange(key, field string, from, to sim.Time) []Point {
+	rows := t.Range(key, from, to)
+	out := make([]Point, 0, len(rows))
+	for _, r := range rows {
+		if v, ok := r.Fields[field]; ok {
+			out = append(out, Point{At: r.At, V: v})
+		}
+	}
+	return out
+}
+
+// Downsample buckets the named field over [from, to) into fixed-width
+// windows, averaging within each bucket. Buckets with no data are skipped.
+func (t *Table) Downsample(key, field string, from, to, bucket sim.Time) []Point {
+	if bucket <= 0 {
+		panic("littletable: bucket must be positive")
+	}
+	var out []Point
+	var acc stats.Welford
+	bucketStart := from
+	flush := func() {
+		if acc.N() > 0 {
+			out = append(out, Point{At: bucketStart, V: acc.Mean()})
+		}
+		acc = stats.Welford{}
+	}
+	for _, p := range t.FieldRange(key, field, from, to) {
+		for p.At >= bucketStart+bucket {
+			flush()
+			bucketStart += bucket
+		}
+		acc.Add(p.V)
+	}
+	flush()
+	return out
+}
+
+// AggregateField collects the named field across ALL keys over [from, to)
+// into a Sample, the operation behind every fleet-wide CDF in Section 3.
+func (t *Table) AggregateField(field string, from, to sim.Time) *stats.Sample {
+	sample := stats.NewSample(1024)
+	for _, k := range t.Keys() {
+		for _, r := range t.Range(k, from, to) {
+			if v, ok := r.Fields[field]; ok {
+				sample.Add(v)
+			}
+		}
+	}
+	return sample
+}
+
+// SumField sums the named field across all keys over [from, to), e.g. total
+// network usage per day (Table 2).
+func (t *Table) SumField(field string, from, to sim.Time) float64 {
+	sum := 0.0
+	for _, k := range t.Keys() {
+		for _, r := range t.Range(k, from, to) {
+			sum += r.Fields[field]
+		}
+	}
+	return sum
+}
+
+// Trim discards rows older than cutoff for all keys (retention).
+func (t *Table) Trim(cutoff sim.Time) int {
+	removed := 0
+	for _, s := range t.byKey {
+		s.ensureSorted()
+		lo := sort.Search(len(s.rows), func(i int) bool { return s.rows[i].At >= cutoff })
+		if lo > 0 {
+			removed += lo
+			s.rows = append(s.rows[:0], s.rows[lo:]...)
+		}
+	}
+	return removed
+}
+
+func (t *Table) String() string {
+	rows := 0
+	for _, s := range t.byKey {
+		rows += len(s.rows)
+	}
+	return fmt.Sprintf("table %s: %d keys, %d rows", t.name, len(t.byKey), rows)
+}

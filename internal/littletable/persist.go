@@ -1,0 +1,63 @@
+package littletable
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Persistence: the store serialises to a line-oriented JSON format (one
+// row per line, clustered by table and key, in time order) so experiment
+// runs can be archived, diffed, and re-queried without re-simulating.
+// The format mirrors how LittleTable's on-disk layout clusters rows by
+// (table, key, time).
+
+// rowRecord is the on-disk form of one row.
+type rowRecord struct {
+	Table  string             `json:"t"`
+	Key    string             `json:"k"`
+	At     int64              `json:"at"` // microseconds
+	Fields map[string]float64 `json:"f"`
+}
+
+// Save writes every table to w. Rows stream in deterministic order
+// (tables sorted, keys sorted, time ascending).
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tname := range db.TableNames() {
+		t := db.Table(tname)
+		for _, key := range t.Keys() {
+			for _, row := range t.Range(key, 0, sim.Time(1)<<62) {
+				rec := rowRecord{Table: tname, Key: key, At: int64(row.At), Fields: row.Fields}
+				if err := enc.Encode(&rec); err != nil {
+					return fmt.Errorf("littletable: save: %w", err)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads rows from r into the store (merging with existing content).
+func (db *DB) Load(r io.Reader) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	n := 0
+	for {
+		var rec rowRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("littletable: load row %d: %w", n, err)
+		}
+		if rec.Table == "" {
+			return fmt.Errorf("littletable: load row %d: empty table name", n)
+		}
+		db.Table(rec.Table).Insert(rec.Key, sim.Time(rec.At), rec.Fields)
+		n++
+	}
+}

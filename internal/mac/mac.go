@@ -1,0 +1,296 @@
+// Package mac implements a discrete-event IEEE 802.11ac MAC simulator:
+// EDCA channel access (per-access-category AIFS/CW contention), A-MPDU
+// aggregation with block acknowledgements, per-MPDU error rates from the
+// PHY model, retransmission with per-AC retry limits, Minstrel-style rate
+// adaptation, and airtime accounting.
+//
+// The simulator is the testbed substrate for the FastACK evaluation
+// (Figs 10, 14-18) and the access-category study (Fig 4). Its essential
+// property, per §5.1 of the paper, is that aggregate sizes emerge from
+// queue depth at transmit opportunity: a TCP sender that is poorly clocked
+// leaves shallow queues and therefore small aggregates.
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// StationID indexes a station within a Medium.
+type StationID int
+
+// MPDU is one MAC protocol data unit: an IP datagram plus MAC metadata.
+type MPDU struct {
+	Dgram      *packet.Datagram
+	Src, Dst   StationID
+	AC         phy.AccessCategory
+	EnqueuedAt sim.Time // wire arrival at the transmitter (for 802.11 latency)
+	Retries    int
+	seq        uint64 // per-station monotonic, for debugging
+
+	// tidSeq is the 802.11 per-TID sequence number, assigned at first
+	// transmission attempt; the receiver's reorder buffer releases MSDUs
+	// in tidSeq order.
+	tidSeq    uint32
+	tidSeqSet bool
+}
+
+// TIDSeq returns the 802.11 per-TID sequence number assigned at first
+// transmission (0 and false before any attempt).
+func (m *MPDU) TIDSeq() (uint32, bool) { return m.tidSeq, m.tidSeqSet }
+
+func (m *MPDU) String() string {
+	return fmt.Sprintf("MPDU[%d->%d %v retries=%d %v]", m.Src, m.Dst, m.AC, m.Retries, m.Dgram)
+}
+
+// DeliveredFn is invoked on the transmitter when the block ACK for an MPDU
+// arrives (ok=true) or the MPDU is dropped after exhausting retries
+// (ok=false). This is the 802.11-ACK hook FastACK builds on (§5.2).
+type DeliveredFn func(m *MPDU, ok bool, now sim.Time)
+
+// ReceiveFn is invoked on the receiver when an MPDU arrives intact.
+type ReceiveFn func(m *MPDU, now sim.Time)
+
+// StationConfig describes one station's radio and stack.
+type StationConfig struct {
+	Name    string
+	NSS     int            // spatial streams (1-4)
+	Width   spectrum.Width // operating bandwidth
+	GI      phy.GuardInterval
+	IsAP    bool
+	TxDelay sim.Time // host-stack latency before an enqueued frame may contend
+	// QueueLimit caps per-destination queue depth in packets (tail drop).
+	// Zero means the default (512).
+	QueueLimit int
+	// SharedPoolLimit caps the total MPDUs queued across all destinations
+	// and access categories, modeling the driver's shared tx-descriptor
+	// pool. Zero means unlimited. Front-inserted (elevated) frames bypass
+	// the pool check: they replace airtime already accounted for.
+	SharedPoolLimit int
+	// RetryLimit overrides the per-AC retry limits when > 0.
+	RetryLimit int
+	// RTSThreshold enables an RTS/CTS exchange for frames whose first MPDU
+	// exceeds this many bytes. Zero disables RTS/CTS.
+	RTSThreshold int
+}
+
+// perACRetryLimit returns how many retransmissions each access category
+// attempts before declaring loss. More aggressive categories retry more
+// (they regain the medium quickly), which is how VI/VO sustain the low
+// loss rates observed in Fig 4.
+func perACRetryLimit(ac phy.AccessCategory) int {
+	switch ac {
+	case phy.ACBK:
+		return 4
+	case phy.ACVI:
+		return 12
+	case phy.ACVO:
+		return 8
+	default:
+		return 7
+	}
+}
+
+const defaultQueueLimit = 512
+
+// backoffState is the per-(station, AC) EDCA contention state.
+type backoffState struct {
+	cw      int // current contention window
+	counter int // remaining backoff slots; -1 = needs fresh draw
+}
+
+// Station is one 802.11 transceiver attached to a Medium.
+type Station struct {
+	ID     StationID
+	cfg    StationConfig
+	medium *Medium
+
+	queues   [4]*acQueue // indexed by phy.AccessCategory
+	backoffs [4]backoffState
+	seq      uint64
+
+	rate map[StationID]*RateController // per-peer link adaptation
+
+	// tidCounters assigns transmit-side per-TID sequence numbers (keyed by
+	// destination peer + AC); reorder holds the receive-side buffers
+	// (keyed by source peer + AC).
+	tidCounters map[tidKey]uint32
+	reorder     map[tidKey]*reorderBuf
+
+	// Carrier-sense state: physBusyUntil is raised by audible
+	// transmissions and interferers; navBusyUntil by overheard RTS/CTS
+	// exchanges (virtual carrier sense, §4.1.2).
+	physBusyUntil sim.Time
+	navBusyUntil  sim.Time
+
+	// Upper-layer hooks.
+	OnReceive   ReceiveFn
+	OnDelivered DeliveredFn
+	// OnDrop is invoked when a frame is tail-dropped at enqueue or dropped
+	// after exhausting retries. May be nil.
+	OnDrop func(m *MPDU, now sim.Time)
+
+	stats StationStats
+}
+
+// StationStats accumulates per-station counters.
+type StationStats struct {
+	TxMPDUs       int64   // MPDU transmission attempts
+	TxFrames      int64   // A-MPDU frames sent
+	Delivered     int64   // MPDUs acknowledged
+	Dropped       int64   // MPDUs lost (retry exhaustion or tail drop)
+	PoolDrops     int64   // tail drops from shared-pool exhaustion
+	Collisions    int64   // frames lost to collision
+	RTSFailures   int64   // RTS exchanges that drew no CTS (receiver busy)
+	AirtimeUs     float64 // airtime consumed transmitting
+	BytesDeliverd int64   // payload bytes acknowledged
+	AggHistogram  [phy.MaxAMPDUSubframes + 1]int64
+}
+
+// MeanAggregate returns the mean A-MPDU subframe count.
+func (s *StationStats) MeanAggregate() float64 {
+	var n, sum int64
+	for size, c := range s.AggHistogram {
+		n += c
+		sum += int64(size) * c
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Name returns the configured station name.
+func (s *Station) Name() string { return s.cfg.Name }
+
+// Config returns the station configuration.
+func (s *Station) Config() StationConfig { return s.cfg }
+
+// Stats returns a snapshot of the station counters.
+func (s *Station) Stats() StationStats { return s.stats }
+
+// QueueDepth returns the number of MPDUs queued for dst in category ac.
+func (s *Station) QueueDepth(ac phy.AccessCategory, dst StationID) int {
+	return s.queues[ac].depthFor(dst)
+}
+
+// QueuedBytes returns the total bytes queued in category ac.
+func (s *Station) QueuedBytes(ac phy.AccessCategory) int { return s.queues[ac].bytes }
+
+// hasTraffic reports whether any AC has queued frames.
+func (s *Station) hasTraffic() bool {
+	for _, q := range s.queues {
+		if q.count > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// totalQueued counts MPDUs across all ACs and destinations.
+func (s *Station) totalQueued() int {
+	n := 0
+	for _, q := range s.queues {
+		n += q.count
+	}
+	return n
+}
+
+// Enqueue submits a datagram for transmission to dst under category ac.
+// It returns false if the per-destination queue limit tail-dropped the
+// packet. TxDelay models host-stack latency before the frame can contend
+// (the ≥2 ms client TCP-ACK turnaround noted in §5.1).
+func (s *Station) Enqueue(d *packet.Datagram, dst StationID, ac phy.AccessCategory) bool {
+	limit := s.cfg.QueueLimit
+	if limit <= 0 {
+		limit = defaultQueueLimit
+	}
+	q := s.queues[ac]
+	m := &MPDU{
+		Dgram: d, Src: s.ID, Dst: dst, AC: ac,
+		EnqueuedAt: s.medium.engine.Now(),
+		seq:        s.seq,
+	}
+	s.seq++
+	if pool := s.cfg.SharedPoolLimit; pool > 0 && s.totalQueued() >= pool {
+		s.stats.Dropped++
+		s.stats.PoolDrops++
+		if s.OnDrop != nil {
+			s.OnDrop(m, s.medium.engine.Now())
+		}
+		return false
+	}
+	if q.depthFor(dst) >= limit {
+		s.stats.Dropped++
+		if s.OnDrop != nil {
+			s.OnDrop(m, s.medium.engine.Now())
+		}
+		return false
+	}
+	if s.cfg.TxDelay > 0 {
+		s.medium.engine.After(s.cfg.TxDelay, func(e *sim.Engine) {
+			q.enqueue(m)
+			s.medium.kickContention()
+		})
+		return true
+	}
+	q.enqueue(m)
+	s.medium.kickContention()
+	return true
+}
+
+// FlushDst discards every queued MPDU destined to dst across all access
+// categories (used when a client roams away) and returns the count.
+func (s *Station) FlushDst(dst StationID) int {
+	removed := 0
+	for _, q := range s.queues {
+		d := q.byDst[dst]
+		if d == nil {
+			continue
+		}
+		for d.len() > 0 {
+			m := d.popFront()
+			q.count--
+			q.bytes -= m.Dgram.WireLen()
+			removed++
+		}
+	}
+	return removed
+}
+
+// EnqueueFront submits a datagram at the head of the destination's queue,
+// ahead of already-queued frames — the "priority elevation" FastACK applies
+// to end-to-end retransmissions and cache re-drives (§5.4 case ii).
+func (s *Station) EnqueueFront(d *packet.Datagram, dst StationID, ac phy.AccessCategory) {
+	m := &MPDU{
+		Dgram: d, Src: s.ID, Dst: dst, AC: ac,
+		EnqueuedAt: s.medium.engine.Now(),
+		seq:        s.seq,
+	}
+	s.seq++
+	s.queues[ac].requeueFront(m)
+	s.medium.kickContention()
+}
+
+// rateFor returns (creating if needed) the rate controller toward peer.
+func (s *Station) rateFor(peer StationID) *RateController {
+	rc, ok := s.rate[peer]
+	if !ok {
+		snr := s.medium.SNR(s.ID, peer)
+		width := s.cfg.Width
+		if pw := s.medium.stations[peer].cfg.Width; pw < width {
+			width = pw // operate at the narrower of the two stations
+		}
+		nss := s.cfg.NSS
+		if pn := s.medium.stations[peer].cfg.NSS; pn < nss {
+			nss = pn
+		}
+		rc = NewRateController(nss, width, s.cfg.GI, snr, s.medium.engine.Rand())
+		s.rate[peer] = rc
+	}
+	return rc
+}

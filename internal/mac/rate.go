@@ -1,0 +1,130 @@
+package mac
+
+import (
+	"math/rand"
+
+	"repro/internal/phy"
+	"repro/internal/spectrum"
+)
+
+// RateController performs Minstrel-style rate adaptation for one link: it
+// tracks an EWMA of per-MPDU delivery probability for every candidate rate,
+// transmits at the rate with the best expected throughput, and spends a
+// small fraction of frames probing other rates to keep estimates fresh.
+//
+// Probability estimates are initialised from the PHY's SNR->PER model so a
+// freshly associated station starts near its ideal rate, as vendor
+// firmware does using the association RSSI.
+type RateController struct {
+	table   []phy.Rate
+	ewma    []float64 // delivery probability per table entry
+	current int
+	rng     *rand.Rand
+	// ProbeFraction is the share of frames used to sample a neighbour
+	// rate (Minstrel's lookaround), default 10%.
+	ProbeFraction float64
+	probing       bool
+	probeIdx      int
+}
+
+// ewmaWeight is the weight of history when folding in a new observation.
+const ewmaWeight = 0.75
+
+// NewRateController builds a controller for a link with the given
+// capability intersection and initial SNR estimate.
+func NewRateController(nss int, width spectrum.Width, gi phy.GuardInterval, snrDB float64, rng *rand.Rand) *RateController {
+	table := phy.RatesForWidth(nss, width, gi)
+	rc := &RateController{
+		table:         table,
+		ewma:          make([]float64, len(table)),
+		rng:           rng,
+		ProbeFraction: 0.10,
+	}
+	for i, r := range table {
+		rc.ewma[i] = 1 - r.PER(snrDB, 1500)
+	}
+	rc.current = rc.bestIndex()
+	return rc
+}
+
+// bestIndex returns the table index with the highest expected throughput,
+// ignoring rates whose delivery probability is hopeless (<5%).
+func (rc *RateController) bestIndex() int {
+	best, bestTp := 0, -1.0
+	for i, r := range rc.table {
+		p := rc.ewma[i]
+		if p < 0.05 && i > 0 {
+			continue
+		}
+		tp := r.Mbps() * p
+		if tp > bestTp {
+			best, bestTp = i, tp
+		}
+	}
+	return best
+}
+
+// Select returns the rate to use for the next frame. A probe frame samples
+// one step above or below the current best.
+func (rc *RateController) Select() phy.Rate {
+	rc.probing = false
+	if rc.rng.Float64() < rc.ProbeFraction && len(rc.table) > 1 {
+		idx := rc.current
+		if rc.rng.Intn(2) == 0 && idx+1 < len(rc.table) {
+			idx++
+		} else if idx > 0 {
+			idx--
+		}
+		if idx != rc.current {
+			rc.probing = true
+			rc.probeIdx = idx
+			return rc.table[idx]
+		}
+	}
+	return rc.table[rc.current]
+}
+
+// Update folds block-ACK feedback (delivered of attempted MPDUs at the
+// frame's rate) into the estimate and re-selects the best rate.
+func (rc *RateController) Update(rate phy.Rate, attempted, delivered int) {
+	if attempted <= 0 {
+		return
+	}
+	idx := rc.indexOf(rate)
+	if idx < 0 {
+		return
+	}
+	obs := float64(delivered) / float64(attempted)
+	rc.ewma[idx] = ewmaWeight*rc.ewma[idx] + (1-ewmaWeight)*obs
+	rc.current = rc.bestIndex()
+}
+
+func (rc *RateController) indexOf(rate phy.Rate) int {
+	for i, r := range rc.table {
+		if r == rate {
+			return i
+		}
+	}
+	return -1
+}
+
+// Probing reports whether the last Select returned a lookaround rate.
+// Probe frames must carry small aggregates (real minstrel_ht does the
+// same): a 5.3 ms A-MPDU at a mis-guessed rate is airtime the link never
+// gets back.
+func (rc *RateController) Probing() bool { return rc.probing }
+
+// MaxProbeAggregate caps the subframe count of probe frames.
+const MaxProbeAggregate = 4
+
+// Current returns the rate the controller currently considers best.
+func (rc *RateController) Current() phy.Rate { return rc.table[rc.current] }
+
+// MaxRate returns the top rate in the link's table.
+func (rc *RateController) MaxRate() phy.Rate { return rc.table[len(rc.table)-1] }
+
+// Efficiency returns the current rate's throughput as a fraction of the
+// link's maximum — the "bit rate efficiency" metric of §4.6.2.
+func (rc *RateController) Efficiency() float64 {
+	return rc.Current().Mbps() / rc.MaxRate().Mbps()
+}

@@ -1,0 +1,93 @@
+package mac
+
+import (
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// reorderBuf implements the receive-side block-ack reordering buffer of
+// 802.11: MPDUs within a TID (here: a (transmitter, AC) pair) carry
+// sequence numbers assigned at first transmission, and the receiver
+// releases MSDUs to the upper layer strictly in order, holding
+// out-of-order arrivals until the hole fills or the transmitter advances
+// the window (the Block Ack Request path, which we model as a direct
+// advance when the transmitter drops an MPDU after exhausting retries).
+//
+// Without this buffer, per-subframe losses inside an A-MPDU would surface
+// as packet reordering to TCP and trigger spurious fast retransmits —
+// something real 802.11 hides completely.
+type reorderBuf struct {
+	next uint32
+	held map[uint32]*MPDU
+}
+
+type tidKey struct {
+	src StationID
+	ac  phy.AccessCategory
+}
+
+// reorderDeliver accepts an in-flight MPDU at the receiver and releases
+// any in-order run to OnReceive.
+func (s *Station) reorderDeliver(m *MPDU, now sim.Time) {
+	if s.reorder == nil {
+		s.reorder = map[tidKey]*reorderBuf{}
+	}
+	key := tidKey{src: m.Src, ac: m.AC}
+	rb, ok := s.reorder[key]
+	if !ok {
+		// Sequence counters start at zero on the transmit side, so a new
+		// buffer always expects zero: the first MPDU of a TID may itself
+		// arrive out of order if an earlier subframe failed.
+		rb = &reorderBuf{next: 0, held: map[uint32]*MPDU{}}
+		s.reorder[key] = rb
+	}
+	if m.tidSeq < rb.next {
+		// Duplicate of something already released; drop silently.
+		return
+	}
+	rb.held[m.tidSeq] = m
+	s.reorderFlush(rb, now)
+}
+
+// reorderFlush releases the contiguous run starting at rb.next.
+func (s *Station) reorderFlush(rb *reorderBuf, now sim.Time) {
+	for {
+		m, ok := rb.held[rb.next]
+		if !ok {
+			return
+		}
+		delete(rb.held, rb.next)
+		rb.next++
+		if s.OnReceive != nil {
+			s.OnReceive(m, now)
+		}
+	}
+}
+
+// reorderAdvance moves the window past a dropped sequence number and
+// flushes: the transmitter gave up on tidSeq, so the receiver must not
+// wait for it (802.11 BAR semantics).
+func (s *Station) reorderAdvance(src StationID, ac phy.AccessCategory, droppedSeq uint32, now sim.Time) {
+	if s.reorder == nil {
+		return
+	}
+	rb, ok := s.reorder[tidKey{src: src, ac: ac}]
+	if !ok {
+		return
+	}
+	// Release, in order, everything held below the new window start: the
+	// transmitter will never fill those gaps, but data already received
+	// must still reach the upper layer.
+	for seq := rb.next; seq <= droppedSeq; seq++ {
+		if m, held := rb.held[seq]; held {
+			delete(rb.held, seq)
+			if s.OnReceive != nil {
+				s.OnReceive(m, now)
+			}
+		}
+	}
+	if rb.next <= droppedSeq {
+		rb.next = droppedSeq + 1
+	}
+	s.reorderFlush(rb, now)
+}

@@ -1,0 +1,258 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spectrum"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// TestKnownRates pins well-known 802.11 data rates from the standard's
+// MCS tables.
+func TestKnownRates(t *testing.T) {
+	cases := []struct {
+		r    Rate
+		mbps float64
+	}{
+		// VHT20 MCS0 1SS LGI = 6.5 Mbps.
+		{Rate{MCS: 0, NSS: 1, Width: spectrum.W20, GI: LGI}, 6.5},
+		// VHT20 MCS7 1SS LGI = 65 Mbps.
+		{Rate{MCS: 7, NSS: 1, Width: spectrum.W20, GI: LGI}, 65},
+		// VHT40 MCS9 1SS SGI = 200 Mbps.
+		{Rate{MCS: 9, NSS: 1, Width: spectrum.W40, GI: SGI}, 200},
+		// VHT80 MCS9 1SS SGI = 433.3 Mbps.
+		{Rate{MCS: 9, NSS: 1, Width: spectrum.W80, GI: SGI}, 433.3},
+		// VHT80 MCS9 3SS SGI = 1300 Mbps (the "1.3 Gbps" headline rate).
+		{Rate{MCS: 9, NSS: 3, Width: spectrum.W80, GI: SGI}, 1300},
+		// VHT160 MCS9 2SS SGI = 1733.3 Mbps.
+		{Rate{MCS: 9, NSS: 2, Width: spectrum.W160, GI: SGI}, 1733.3},
+		// The paper's §3.2.4 examples: 40 MHz 2SS -> 300 Mbps (11n-style),
+		// 80 MHz 2SS -> 866.7 Mbps.
+		{Rate{MCS: 7, NSS: 2, Width: spectrum.W40, GI: SGI}, 300},
+		{Rate{MCS: 9, NSS: 2, Width: spectrum.W80, GI: SGI}, 866.7},
+	}
+	for _, c := range cases {
+		if got := c.r.Mbps(); !almostEq(got, c.mbps, 0.1) {
+			t.Errorf("%v = %.1f Mbps, want %.1f", c.r, got, c.mbps)
+		}
+	}
+}
+
+func TestInvalidMCSCombos(t *testing.T) {
+	// MCS9 at 20 MHz is only defined for 3 streams.
+	if (Rate{MCS: 9, NSS: 1, Width: spectrum.W20, GI: LGI}).Valid() {
+		t.Error("MCS9 20MHz 1SS should be invalid")
+	}
+	if !(Rate{MCS: 9, NSS: 3, Width: spectrum.W20, GI: LGI}).Valid() {
+		t.Error("MCS9 20MHz 3SS should be valid")
+	}
+	// MCS6 at 80 MHz with 3 streams is undefined.
+	if (Rate{MCS: 6, NSS: 3, Width: spectrum.W80, GI: LGI}).Valid() {
+		t.Error("MCS6 80MHz 3SS should be invalid")
+	}
+	if (Rate{MCS: 10, NSS: 1, Width: spectrum.W20, GI: LGI}).Valid() {
+		t.Error("MCS10 should be invalid")
+	}
+}
+
+func TestRateTableSortedAndValid(t *testing.T) {
+	table := RateTable(3, spectrum.W80, SGI)
+	if len(table) == 0 {
+		t.Fatal("empty table")
+	}
+	prev := 0.0
+	for _, r := range table {
+		if !r.Valid() {
+			t.Fatalf("invalid rate in table: %v", r)
+		}
+		if r.Mbps() < prev {
+			t.Fatalf("table not sorted at %v", r)
+		}
+		prev = r.Mbps()
+	}
+	top := MaxRate(3, spectrum.W80, SGI)
+	if !almostEq(top.Mbps(), 1300, 0.1) {
+		t.Fatalf("MaxRate(3, 80, SGI) = %v", top)
+	}
+}
+
+// Property: PER decreases with SNR and increases with frame length.
+func TestQuickPERMonotonic(t *testing.T) {
+	r := Rate{MCS: 5, NSS: 2, Width: spectrum.W80, GI: SGI}
+	f := func(snrRaw, extraRaw uint8) bool {
+		snr := float64(snrRaw%50) - 5
+		extra := float64(extraRaw%20) + 0.5
+		if r.PER(snr+extra, 1500) > r.PER(snr, 1500)+1e-12 {
+			return false
+		}
+		return r.PER(snr, 3000) >= r.PER(snr, 500)-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPERAnchor(t *testing.T) {
+	r := Rate{MCS: 4, NSS: 1, Width: spectrum.W20, GI: LGI}
+	// At the required SNR, PER is ~10%.
+	if got := r.PER(r.RequiredSNR(), 1500); !almostEq(got, 0.10, 0.02) {
+		t.Fatalf("PER at required SNR = %v, want ~0.10", got)
+	}
+	// 5 dB of margin should make the link essentially clean.
+	if got := r.PER(r.RequiredSNR()+5, 1500); got > 0.01 {
+		t.Fatalf("PER at +5 dB = %v, want < 1%%", got)
+	}
+	// 6 dB below, the link is hopeless.
+	if got := r.PER(r.RequiredSNR()-6, 1500); got < 0.9 {
+		t.Fatalf("PER at -6 dB = %v, want > 0.9", got)
+	}
+}
+
+func TestRequiredSNRRises(t *testing.T) {
+	prev := -100.0
+	for m := MCS(0); m <= MaxMCS; m++ {
+		r := Rate{MCS: m, NSS: 1, Width: spectrum.W40, GI: LGI}
+		if s := r.RequiredSNR(); s <= prev {
+			t.Fatalf("RequiredSNR not increasing at %v", r)
+		} else {
+			prev = s
+		}
+	}
+	// Wider channels and more streams need more SNR.
+	base := Rate{MCS: 4, NSS: 1, Width: spectrum.W20, GI: LGI}
+	wide := Rate{MCS: 4, NSS: 1, Width: spectrum.W80, GI: LGI}
+	multi := Rate{MCS: 4, NSS: 3, Width: spectrum.W20, GI: LGI}
+	if wide.RequiredSNR() <= base.RequiredSNR() || multi.RequiredSNR() <= base.RequiredSNR() {
+		t.Fatal("width/stream SNR penalties missing")
+	}
+}
+
+func TestPathLoss(t *testing.T) {
+	p := DefaultIndoor()
+	// Free space at 1 m, 5 GHz is ~47 dB.
+	at1 := p.PathLossDB(spectrum.Band5, 1, 0)
+	if !almostEq(at1, 46.9, 1.0) {
+		t.Fatalf("loss at 1 m = %v", at1)
+	}
+	// Log-distance: +10·n dB per decade.
+	at10 := p.PathLossDB(spectrum.Band5, 10, 0)
+	if !almostEq(at10-at1, 30, 0.1) {
+		t.Fatalf("decade slope = %v, want 30", at10-at1)
+	}
+	// Walls add loss.
+	if p.PathLossDB(spectrum.Band5, 10, 2) <= at10 {
+		t.Fatal("wall loss missing")
+	}
+	// 2.4 GHz propagates better than 5 GHz.
+	if p.PathLossDB(spectrum.Band2G4, 10, 0) >= at10 {
+		t.Fatal("2.4 GHz should have lower path loss")
+	}
+	// Sub-meter clamps to 1 m.
+	if p.PathLossDB(spectrum.Band5, 0.1, 0) != at1 {
+		t.Fatal("sub-meter distance should clamp")
+	}
+}
+
+func TestNoiseFloor(t *testing.T) {
+	// -174 + 10log10(20e6) + 7 = -94 dBm.
+	if got := NoiseFloorDBm(spectrum.W20); !almostEq(got, -94, 0.2) {
+		t.Fatalf("20 MHz noise floor = %v", got)
+	}
+	// Doubling bandwidth raises the floor 3 dB.
+	if diff := NoiseFloorDBm(spectrum.W40) - NoiseFloorDBm(spectrum.W20); !almostEq(diff, 3.01, 0.01) {
+		t.Fatalf("bandwidth noise delta = %v", diff)
+	}
+}
+
+func TestLinkBudget(t *testing.T) {
+	l := Link{TxPowerDBm: 20, TxGainDBi: 3, RxGainDBi: 3, LossDB: 80}
+	if got := l.RSSIDBm(); got != -54 {
+		t.Fatalf("RSSI = %v", got)
+	}
+	if got := l.SNRDB(spectrum.W20); !almostEq(got, 40, 0.3) {
+		t.Fatalf("SNR = %v", got)
+	}
+}
+
+func TestFrameAirtime(t *testing.T) {
+	r := Rate{MCS: 9, NSS: 3, Width: spectrum.W80, GI: SGI} // 1300 Mbps
+	single := FrameAirtimeUs(r, 1, 1500)
+	if single <= VHTPreambleUs {
+		t.Fatal("airtime must exceed the preamble")
+	}
+	// 64 aggregated MPDUs cost far less than 64 separate frames.
+	agg := FrameAirtimeUs(r, 64, 1500)
+	if agg >= 64*single {
+		t.Fatal("aggregation saves no airtime?")
+	}
+	// Preamble amortization: per-MPDU cost shrinks with aggregation.
+	if agg/64 >= single {
+		t.Fatal("per-MPDU cost did not shrink")
+	}
+	if FrameAirtimeUs(r, 0, 1500) != 0 {
+		t.Fatal("zero MPDUs should cost nothing")
+	}
+}
+
+func TestMaxAggregateForRate(t *testing.T) {
+	fast := Rate{MCS: 9, NSS: 3, Width: spectrum.W80, GI: SGI}
+	if got := MaxAggregateForRate(fast, 1500); got != MaxAMPDUSubframes {
+		t.Fatalf("fast rate agg = %d, want %d", got, MaxAMPDUSubframes)
+	}
+	// At 6.5 Mbps, 64 x 1500 B would take ~118 ms; the 5.3 ms cap must
+	// bite hard.
+	slow := Rate{MCS: 0, NSS: 1, Width: spectrum.W20, GI: LGI}
+	got := MaxAggregateForRate(slow, 1500)
+	if got >= 10 {
+		t.Fatalf("slow rate agg = %d, want small", got)
+	}
+	if air := FrameAirtimeUs(slow, got, 1500); air > MaxAMPDUDurationUs {
+		t.Fatalf("airtime cap violated: %v", air)
+	}
+}
+
+func TestEDCAOrdering(t *testing.T) {
+	// More aggressive categories have shorter AIFS and smaller windows.
+	if !(ACVO.EDCA().AIFSus() <= ACVI.EDCA().AIFSus() &&
+		ACVI.EDCA().AIFSus() < ACBE.EDCA().AIFSus() &&
+		ACBE.EDCA().AIFSus() < ACBK.EDCA().AIFSus()) {
+		t.Fatal("AIFS ordering wrong")
+	}
+	if ACVO.EDCA().CWMin >= ACBE.EDCA().CWMin {
+		t.Fatal("CWMin ordering wrong")
+	}
+	for _, ac := range []AccessCategory{ACBK, ACBE, ACVI, ACVO} {
+		if ac.String() == "?" {
+			t.Fatal("missing AC string")
+		}
+	}
+}
+
+func TestEffectiveThroughputImproves(t *testing.T) {
+	r := Rate{MCS: 9, NSS: 3, Width: spectrum.W80, GI: SGI}
+	t1 := EffectiveMACThroughputMbps(r, 1, 1500)
+	t64 := EffectiveMACThroughputMbps(r, 64, 1500)
+	if t64 <= t1 {
+		t.Fatal("aggregation should raise MAC throughput")
+	}
+	// Single-MPDU MAC efficiency at 1.3 Gbps is terrible (<10%): this is
+	// exactly why §5.1 says 802.11ac relies on aggregation.
+	if t1/r.Mbps() > 0.10 {
+		t.Fatalf("single-MPDU efficiency = %.2f, expected < 0.10", t1/r.Mbps())
+	}
+	if t64/r.Mbps() < 0.5 {
+		t.Fatalf("64-aggregate efficiency = %.2f, expected > 0.5", t64/r.Mbps())
+	}
+}
+
+func TestUtilizationCapacity(t *testing.T) {
+	if UtilizationCapacity(-1) != 1 || UtilizationCapacity(2) != 0 {
+		t.Fatal("clamping broken")
+	}
+	if UtilizationCapacity(0.3) != 0.7 {
+		t.Fatal("idle share wrong")
+	}
+}

@@ -1,0 +1,223 @@
+// Package phy models the 802.11n/ac physical layer: MCS rate tables across
+// channel width, spatial streams and guard interval; a log-distance indoor
+// propagation model with shadowing; SNR-dependent packet error rates; and
+// over-the-air duration computation for aggregated frames.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/spectrum"
+)
+
+// GuardInterval selects the OFDM guard interval.
+type GuardInterval int
+
+const (
+	// LGI is the 800 ns long guard interval.
+	LGI GuardInterval = iota
+	// SGI is the 400 ns short guard interval.
+	SGI
+)
+
+func (g GuardInterval) String() string {
+	if g == SGI {
+		return "SGI"
+	}
+	return "LGI"
+}
+
+// symbolDuration returns the OFDM symbol duration in microseconds.
+func (g GuardInterval) symbolDuration() float64 {
+	if g == SGI {
+		return 3.6
+	}
+	return 4.0
+}
+
+// MCS is a VHT modulation-and-coding-scheme index (0-9).
+type MCS int
+
+// MaxMCS is the highest VHT MCS index.
+const MaxMCS MCS = 9
+
+// modulation bits per subcarrier per MCS index.
+var mcsBits = [10]float64{1, 2, 2, 4, 4, 6, 6, 6, 8, 8}
+
+// coding rate per MCS index.
+var mcsCoding = [10]float64{0.5, 0.5, 0.75, 0.5, 0.75, 2.0 / 3, 0.75, 5.0 / 6, 0.75, 5.0 / 6}
+
+// mcsName per index, for reporting.
+var mcsName = [10]string{
+	"BPSK1/2", "QPSK1/2", "QPSK3/4", "16QAM1/2", "16QAM3/4",
+	"64QAM2/3", "64QAM3/4", "64QAM5/6", "256QAM3/4", "256QAM5/6",
+}
+
+func (m MCS) String() string {
+	if m < 0 || m > MaxMCS {
+		return fmt.Sprintf("MCS(%d)", int(m))
+	}
+	return fmt.Sprintf("MCS%d(%s)", int(m), mcsName[m])
+}
+
+// dataSubcarriers per channel width (VHT numerology).
+func dataSubcarriers(w spectrum.Width) float64 {
+	switch w {
+	case spectrum.W20:
+		return 52
+	case spectrum.W40:
+		return 108
+	case spectrum.W80:
+		return 234
+	case spectrum.W160:
+		return 468
+	default:
+		panic(fmt.Sprintf("phy: invalid width %v", w))
+	}
+}
+
+// Rate is one selectable PHY rate.
+type Rate struct {
+	MCS   MCS
+	NSS   int // spatial streams, 1-4
+	Width spectrum.Width
+	GI    GuardInterval
+}
+
+func (r Rate) String() string {
+	return fmt.Sprintf("%v x%dss %v %v = %.1f Mbps", r.MCS, r.NSS, r.Width, r.GI, r.Mbps())
+}
+
+// Valid reports whether the (MCS, NSS, width) combination is defined by
+// 802.11ac. Two well-known exclusions exist: MCS9 is undefined at 20 MHz
+// except for 3 spatial streams, and MCS6 is undefined at 80 MHz with 3
+// streams.
+func (r Rate) Valid() bool {
+	if r.MCS < 0 || r.MCS > MaxMCS || r.NSS < 1 || r.NSS > 4 || !r.Width.Valid() {
+		return false
+	}
+	if r.MCS == 9 && r.Width == spectrum.W20 && r.NSS != 3 {
+		return false
+	}
+	if r.MCS == 6 && r.Width == spectrum.W80 && r.NSS == 3 {
+		return false
+	}
+	return true
+}
+
+// Mbps returns the PHY data rate in megabits per second.
+func (r Rate) Mbps() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	bitsPerSymbol := dataSubcarriers(r.Width) * mcsBits[r.MCS] * mcsCoding[r.MCS] * float64(r.NSS)
+	return bitsPerSymbol / r.GI.symbolDuration()
+}
+
+// RateTable returns all valid rates for a station capable of up to maxNSS
+// streams and maxWidth bandwidth, sorted ascending by throughput.
+func RateTable(maxNSS int, maxWidth spectrum.Width, gi GuardInterval) []Rate {
+	var out []Rate
+	for nss := 1; nss <= maxNSS; nss++ {
+		for _, w := range spectrum.Widths {
+			if w > maxWidth {
+				break
+			}
+			for m := MCS(0); m <= MaxMCS; m++ {
+				r := Rate{MCS: m, NSS: nss, Width: w, GI: gi}
+				if r.Valid() {
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	sortRates(out)
+	return out
+}
+
+// RatesForWidth returns the valid rates at exactly width w, ascending.
+func RatesForWidth(maxNSS int, w spectrum.Width, gi GuardInterval) []Rate {
+	var out []Rate
+	for nss := 1; nss <= maxNSS; nss++ {
+		for m := MCS(0); m <= MaxMCS; m++ {
+			r := Rate{MCS: m, NSS: nss, Width: w, GI: gi}
+			if r.Valid() {
+				out = append(out, r)
+			}
+		}
+	}
+	sortRates(out)
+	return out
+}
+
+func sortRates(rs []Rate) {
+	// Insertion sort: tables are tiny and this avoids importing sort with
+	// a closure allocation on a hot path.
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].Mbps() < rs[j-1].Mbps(); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// MaxRate returns the top rate for the capability set.
+func MaxRate(maxNSS int, maxWidth spectrum.Width, gi GuardInterval) Rate {
+	table := RateTable(maxNSS, maxWidth, gi)
+	return table[len(table)-1]
+}
+
+// requiredSNR is the approximate SNR (dB) at which each MCS achieves a 10%
+// PER on a 20 MHz single-stream link, drawn from vendor sensitivity tables.
+var requiredSNR = [10]float64{2, 5, 9, 11, 15, 18, 20, 25, 29, 31}
+
+// RequiredSNR returns the SNR (dB) needed for ~10% PER at this rate.
+// Doubling bandwidth doubles noise power (+3 dB); each additional spatial
+// stream needs ~2.5 dB more SNR for stream separation.
+func (r Rate) RequiredSNR() float64 {
+	snr := requiredSNR[r.MCS]
+	switch r.Width {
+	case spectrum.W40:
+		snr += 3
+	case spectrum.W80:
+		snr += 6
+	case spectrum.W160:
+		snr += 9
+	}
+	snr += 2.5 * float64(r.NSS-1)
+	if r.GI == SGI {
+		snr += 0.5
+	}
+	return snr
+}
+
+// PER returns the expected packet error rate for an MPDU of mpduBytes sent
+// at rate r with the given SNR (dB). The model is a logistic curve anchored
+// at RequiredSNR (10% PER) with a slope calibrated so that +3 dB of margin
+// pushes PER below 1%, matching the steep waterfall region of real radios.
+// Longer MPDUs fail more often; the length term scales the effective bit
+// error exposure relative to a 1500-byte reference frame.
+func (r Rate) PER(snrDB float64, mpduBytes int) float64 {
+	const slope = 1.4 // logistic steepness per dB
+	margin := snrDB - r.RequiredSNR()
+	// logistic anchored at 10% PER when margin == 0.
+	base := 1.0 / (1.0 + math.Exp(slope*margin)*9.0)
+	if mpduBytes <= 0 {
+		mpduBytes = 1500
+	}
+	// Convert to per-bit survival and re-expose for the actual length.
+	refBits := 1500.0 * 8
+	bits := float64(mpduBytes) * 8
+	survive := math.Pow(1-clamp01(base), bits/refBits)
+	return clamp01(1 - survive)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,112 @@
+// Package radio models the dedicated single-antenna scanning radio fitted
+// to Meraki 802.11ac APs (§2.1): it dwells on each available channel for
+// 150 ms, measuring busy airtime and overhearing neighbor beacons, and
+// periodically publishes the utilization and neighbor reports the backend
+// and TurboCA consume.
+package radio
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// DwellTime is the per-channel scan dwell (§2.1: "scans all available
+// channels over 150 ms intervals").
+const DwellTime = 150 * sim.Millisecond
+
+// ChannelObservation is one dwell's result.
+type ChannelObservation struct {
+	Channel     spectrum.Channel
+	At          sim.Time
+	Utilization float64 // busy fraction observed during the dwell
+	// Neighbors maps overheard BSSID (AP id) -> RSSI dBm.
+	Neighbors map[int]float64
+}
+
+// Environment supplies ground truth for a dwell; the deployment scenario
+// implements it.
+type Environment interface {
+	// ObserveChannel returns the busy fraction and audible neighbors on
+	// ch as seen from the scanning AP at time t.
+	ObserveChannel(apID int, ch spectrum.Channel, t sim.Time) (util float64, neighbors map[int]float64)
+}
+
+// Scanner cycles one AP's scanning radio across the 20 MHz channels of
+// both bands and retains the freshest observation per channel.
+type Scanner struct {
+	APID int
+	env  Environment
+
+	channels []spectrum.Channel
+	next     int
+	latest   map[spectrum.Channel]ChannelObservation
+	stop     func()
+}
+
+// NewScanner builds a scanner for the AP over all US 20 MHz channels.
+func NewScanner(apID int, env Environment) *Scanner {
+	s := &Scanner{APID: apID, env: env, latest: map[spectrum.Channel]ChannelObservation{}}
+	s.channels = append(s.channels, spectrum.Channels(spectrum.Band2G4, spectrum.W20, true)...)
+	s.channels = append(s.channels, spectrum.Channels(spectrum.Band5, spectrum.W20, true)...)
+	return s
+}
+
+// Start begins the dwell cycle on the engine. Each DwellTime the scanner
+// observes one channel and advances.
+func (s *Scanner) Start(engine *sim.Engine) {
+	s.stop = engine.Ticker(DwellTime, func(e *sim.Engine) {
+		ch := s.channels[s.next]
+		s.next = (s.next + 1) % len(s.channels)
+		util, neigh := s.env.ObserveChannel(s.APID, ch, e.Now())
+		s.latest[ch] = ChannelObservation{
+			Channel: ch, At: e.Now(), Utilization: util, Neighbors: neigh,
+		}
+	})
+}
+
+// Stop halts scanning.
+func (s *Scanner) Stop() {
+	if s.stop != nil {
+		s.stop()
+	}
+}
+
+// CycleTime returns how long one full sweep of all channels takes.
+func (s *Scanner) CycleTime() sim.Time {
+	return sim.Time(len(s.channels)) * DwellTime
+}
+
+// Observation returns the freshest observation for ch.
+func (s *Scanner) Observation(ch spectrum.Channel) (ChannelObservation, bool) {
+	o, ok := s.latest[ch]
+	return o, ok
+}
+
+// UtilizationMap returns 20 MHz channel number -> freshest utilization
+// for the band, the ExternalUtil input of the planner.
+func (s *Scanner) UtilizationMap(band spectrum.Band) map[int]float64 {
+	out := map[int]float64{}
+	for ch, o := range s.latest {
+		if ch.Band == band {
+			out[ch.Number] = o.Utilization
+		}
+	}
+	return out
+}
+
+// NeighborReport merges neighbors across the band's channels: AP id ->
+// strongest RSSI heard.
+func (s *Scanner) NeighborReport(band spectrum.Band) map[int]float64 {
+	out := map[int]float64{}
+	for ch, o := range s.latest {
+		if ch.Band != band {
+			continue
+		}
+		for id, rssi := range o.Neighbors {
+			if cur, ok := out[id]; !ok || rssi > cur {
+				out[id] = rssi
+			}
+		}
+	}
+	return out
+}

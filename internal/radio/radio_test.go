@@ -1,0 +1,88 @@
+package radio
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// fakeEnv reports fixed utilization on one channel and one audible
+// neighbor everywhere on 5 GHz.
+type fakeEnv struct {
+	busyChan int
+	calls    int
+}
+
+func (f *fakeEnv) ObserveChannel(apID int, ch spectrum.Channel, t sim.Time) (float64, map[int]float64) {
+	f.calls++
+	util := 0.0
+	if ch.Band == spectrum.Band5 && ch.Number == f.busyChan {
+		util = 0.7
+	}
+	var neigh map[int]float64
+	if ch.Band == spectrum.Band5 {
+		neigh = map[int]float64{42: -65}
+	}
+	return util, neigh
+}
+
+func TestScannerCycle(t *testing.T) {
+	engine := sim.NewEngine(1)
+	env := &fakeEnv{busyChan: 100}
+	s := NewScanner(7, env)
+	s.Start(engine)
+
+	// One full cycle: 3 assignable 2.4 GHz channels + 25 5 GHz channels
+	// at 150 ms each.
+	if got, want := s.CycleTime(), sim.Time(28)*DwellTime; got != want {
+		t.Fatalf("cycle = %v, want %v", got, want)
+	}
+	engine.RunUntil(s.CycleTime() + sim.Millisecond)
+	if env.calls != 28 {
+		t.Fatalf("observed %d dwells, want 28", env.calls)
+	}
+
+	// The busy channel's observation is recorded.
+	ch, _ := spectrum.ChannelAt(spectrum.Band5, 100, spectrum.W20)
+	o, ok := s.Observation(ch)
+	if !ok || o.Utilization != 0.7 {
+		t.Fatalf("observation: %+v ok=%v", o, ok)
+	}
+
+	um := s.UtilizationMap(spectrum.Band5)
+	if um[100] != 0.7 {
+		t.Fatalf("utilization map: %v", um)
+	}
+	if um[36] != 0 {
+		t.Fatalf("clean channel reported busy: %v", um[36])
+	}
+
+	nr := s.NeighborReport(spectrum.Band5)
+	if nr[42] != -65 {
+		t.Fatalf("neighbor report: %v", nr)
+	}
+	if len(s.NeighborReport(spectrum.Band2G4)) != 0 {
+		t.Fatal("phantom 2.4 GHz neighbors")
+	}
+
+	s.Stop()
+	calls := env.calls
+	engine.RunUntil(engine.Now() + 10*DwellTime)
+	if env.calls != calls {
+		t.Fatal("scanner kept scanning after Stop")
+	}
+}
+
+func TestScannerFreshnessOverwrites(t *testing.T) {
+	engine := sim.NewEngine(1)
+	env := &fakeEnv{busyChan: 36}
+	s := NewScanner(1, env)
+	s.Start(engine)
+	engine.RunUntil(s.CycleTime() + sim.Millisecond)
+	env.busyChan = 0 // channel 36 goes quiet
+	engine.RunUntil(2*s.CycleTime() + sim.Millisecond)
+	if um := s.UtilizationMap(spectrum.Band5); um[36] != 0 {
+		t.Fatalf("stale observation retained: %v", um)
+	}
+}

@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30, func(*Engine) { order = append(order, 3) })
+	e.Schedule(10, func(*Engine) { order = append(order, 1) })
+	e.Schedule(20, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.Schedule(10, func(*Engine) { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(10, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func(*Engine) {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func(*Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10,20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("remaining events did not fire: %v", fired)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var chain func(*Engine)
+	chain = func(en *Engine) {
+		count++
+		if count < 5 {
+			en.After(10, chain)
+		}
+	}
+	e.After(10, chain)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("chain fired %d times, want 5", count)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v, want 50", e.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	e.Schedule(10, func(en *Engine) { count++; en.Halt() })
+	e.Schedule(20, func(*Engine) { count++ })
+	e.Run()
+	if count != 1 {
+		t.Fatalf("halt did not stop the loop: count=%d", count)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var stop func()
+	stop = e.Ticker(10, func(*Engine) {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	e.RunUntil(1000)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after stop at 3", count)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(42), NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := map[Time]string{
+		5:               "5µs",
+		3 * Millisecond: "3.000ms",
+		2 * Second:      "2.000s",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(in), got, want)
+		}
+	}
+}
+
+// Property: for any sequence of non-negative delays, events fire in
+// non-decreasing time order.
+func TestQuickMonotonicClock(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Time(d), func(en *Engine) {
+				if en.Now() < last {
+					ok = false
+				}
+				last = en.Now()
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterNegativePanics(t *testing.T) {
+	e := NewEngine(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func(*Engine) {})
+}

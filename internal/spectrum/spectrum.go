@@ -1,0 +1,270 @@
+// Package spectrum models the unlicensed spectrum available to 802.11
+// devices in the United States: the 2.4 GHz ISM band and the 5 GHz U-NII
+// bands, including channel bonding (40/80/160 MHz), Dynamic Frequency
+// Selection (DFS) restrictions, and channel overlap computation.
+//
+// The channel inventory matches Section 4.1.1 of the paper: twenty-five
+// 20 MHz, twelve 40 MHz, six 80 MHz and two 160 MHz channels at 5 GHz, of
+// which only nine/four/two/zero are usable without DFS certification; and
+// three non-overlapping channels at 2.4 GHz.
+package spectrum
+
+import "fmt"
+
+// Band identifies a frequency band.
+type Band int
+
+const (
+	// Band2G4 is the 2.4 GHz ISM band.
+	Band2G4 Band = iota
+	// Band5 is the 5 GHz U-NII band.
+	Band5
+)
+
+func (b Band) String() string {
+	switch b {
+	case Band2G4:
+		return "2.4GHz"
+	case Band5:
+		return "5GHz"
+	default:
+		return fmt.Sprintf("Band(%d)", int(b))
+	}
+}
+
+// Width is a channel width in MHz.
+type Width int
+
+// Channel widths defined by 802.11n/ac.
+const (
+	W20  Width = 20
+	W40  Width = 40
+	W80  Width = 80
+	W160 Width = 160
+)
+
+// Widths lists all widths narrow-to-wide.
+var Widths = []Width{W20, W40, W80, W160}
+
+func (w Width) String() string { return fmt.Sprintf("%dMHz", int(w)) }
+
+// Valid reports whether w is a defined 802.11 channel width.
+func (w Width) Valid() bool {
+	switch w {
+	case W20, W40, W80, W160:
+		return true
+	}
+	return false
+}
+
+// Channel is one assignable (center, width) tuple.
+type Channel struct {
+	Band   Band
+	Number int   // IEEE channel number of the center frequency
+	Width  Width // occupied bandwidth
+	DFS    bool  // any covered 20 MHz sub-channel requires DFS
+}
+
+func (c Channel) String() string {
+	dfs := ""
+	if c.DFS {
+		dfs = "/DFS"
+	}
+	return fmt.Sprintf("ch%d@%s%s", c.Number, c.Width, dfs)
+}
+
+// CenterMHz returns the channel's center frequency in MHz.
+func (c Channel) CenterMHz() float64 {
+	if c.Band == Band2G4 {
+		return 2407 + 5*float64(c.Number)
+	}
+	return 5000 + 5*float64(c.Number)
+}
+
+// LowMHz returns the lower edge of the occupied bandwidth.
+func (c Channel) LowMHz() float64 { return c.CenterMHz() - float64(c.Width)/2 }
+
+// HighMHz returns the upper edge of the occupied bandwidth.
+func (c Channel) HighMHz() float64 { return c.CenterMHz() + float64(c.Width)/2 }
+
+// Overlaps reports whether the occupied bandwidths of a and b intersect.
+// An 80 MHz transmission is corrupted by interference on any of its four
+// 20 MHz sub-channels, so any spectral intersection counts (§4.1.1).
+func (c Channel) Overlaps(o Channel) bool {
+	if c.Band != o.Band {
+		return false
+	}
+	return c.LowMHz() < o.HighMHz() && o.LowMHz() < c.HighMHz()
+}
+
+// Sub20Numbers returns the IEEE numbers of the 20 MHz sub-channels covered
+// by c, lowest first. For a 20 MHz channel this is just {c.Number}.
+func (c Channel) Sub20Numbers() []int {
+	if c.Band == Band2G4 || c.Width == W20 {
+		return []int{c.Number}
+	}
+	n := int(c.Width) / 20
+	// 20 MHz neighbours at 5 GHz are 4 channel numbers apart.
+	first := c.Number - 2*(n-1)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = first + i*4
+	}
+	return out
+}
+
+// Primary20 returns the default primary 20 MHz sub-channel (the lowest).
+func (c Channel) Primary20() int { return c.Sub20Numbers()[0] }
+
+// dfs5 is the set of 5 GHz 20 MHz channel numbers subject to DFS in the US
+// (U-NII-2A and U-NII-2C).
+var dfs5 = map[int]bool{
+	52: true, 56: true, 60: true, 64: true,
+	100: true, 104: true, 108: true, 112: true, 116: true,
+	120: true, 124: true, 128: true, 132: true, 136: true,
+	140: true, 144: true,
+}
+
+// IsDFS20 reports whether 5 GHz 20 MHz channel number n requires DFS.
+func IsDFS20(n int) bool { return dfs5[n] }
+
+var (
+	us5w20  = []int{36, 40, 44, 48, 52, 56, 60, 64, 100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140, 144, 149, 153, 157, 161, 165}
+	us5w40  = []int{38, 46, 54, 62, 102, 110, 118, 126, 134, 142, 151, 159}
+	us5w80  = []int{42, 58, 106, 122, 138, 155}
+	us5w160 = []int{50, 114}
+	us24w20 = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	// NonOverlapping24 is the classic 1/6/11 plan.
+	NonOverlapping24 = []int{1, 6, 11}
+)
+
+func build5(numbers []int, w Width) []Channel {
+	out := make([]Channel, 0, len(numbers))
+	for _, n := range numbers {
+		c := Channel{Band: Band5, Number: n, Width: w}
+		for _, sub := range c.Sub20Numbers() {
+			if dfs5[sub] {
+				c.DFS = true
+				break
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// Channels returns the US-regulatory channel list for band and width.
+// When allowDFS is false, channels whose bandwidth touches a DFS
+// sub-channel are excluded. The result is freshly allocated.
+//
+// The 2.4 GHz band only supports 20 MHz here: 40 MHz at 2.4 GHz is
+// catastrophic in enterprise deployments and Meraki APs do not use it.
+func Channels(band Band, w Width, allowDFS bool) []Channel {
+	if band == Band2G4 {
+		if w != W20 {
+			return nil
+		}
+		out := make([]Channel, 0, len(NonOverlapping24))
+		for _, n := range NonOverlapping24 {
+			out = append(out, Channel{Band: Band2G4, Number: n, Width: W20})
+		}
+		return out
+	}
+	var src []int
+	switch w {
+	case W20:
+		src = us5w20
+	case W40:
+		src = us5w40
+	case W80:
+		src = us5w80
+	case W160:
+		src = us5w160
+	default:
+		return nil
+	}
+	all := build5(src, w)
+	if allowDFS {
+		return all
+	}
+	out := all[:0:0]
+	for _, c := range all {
+		if !c.DFS {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// AllChannels returns every assignable channel on band up to maxWidth.
+func AllChannels(band Band, maxWidth Width, allowDFS bool) []Channel {
+	var out []Channel
+	for _, w := range Widths {
+		if w > maxWidth {
+			break
+		}
+		out = append(out, Channels(band, w, allowDFS)...)
+	}
+	return out
+}
+
+// ChannelAt returns the channel with the given band/number/width, or false
+// if it is not a valid US channel.
+func ChannelAt(band Band, number int, w Width) (Channel, bool) {
+	for _, c := range Channels(band, w, true) {
+		if c.Number == number {
+			return c, true
+		}
+	}
+	return Channel{}, false
+}
+
+// Narrower returns the same spectrum position at the next narrower width,
+// anchored at the primary 20 MHz sub-channel. Narrowing a 20 MHz channel
+// returns it unchanged.
+func Narrower(c Channel) Channel {
+	if c.Width == W20 {
+		return c
+	}
+	want := c.Primary20()
+	for _, cand := range Channels(c.Band, c.Width/2, true) {
+		if cand.Primary20() == want {
+			return cand
+		}
+	}
+	// Should be unreachable for valid channels; fall back to 20 MHz primary.
+	out, _ := ChannelAt(c.Band, want, W20)
+	return out
+}
+
+// Wider returns the bonded channel one width step up that contains c, or
+// ok=false if no such US channel exists (e.g. widening ch165).
+func Wider(c Channel) (Channel, bool) {
+	if c.Band == Band2G4 || c.Width == W160 {
+		return Channel{}, false
+	}
+	for _, cand := range Channels(c.Band, c.Width*2, true) {
+		if containsAll(cand.Sub20Numbers(), c.Sub20Numbers()) {
+			return cand, true
+		}
+	}
+	return Channel{}, false
+}
+
+func containsAll(haystack, needles []int) bool {
+	set := make(map[int]bool, len(haystack))
+	for _, h := range haystack {
+		set[h] = true
+	}
+	for _, n := range needles {
+		if !set[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// CACDuration is the Channel Availability Check wait mandated before
+// transmitting on a DFS channel (§4.5.2): one minute, expressed in
+// microseconds to match sim.Time.
+const CACDuration = 60 * 1000 * 1000

@@ -1,0 +1,83 @@
+package tcpstack
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Congestion selects the sender's congestion-control algorithm.
+type Congestion int
+
+const (
+	// Reno is NewReno with SACK (the conservative default).
+	Reno Congestion = iota
+	// Cubic is RFC 8312 CUBIC, the Linux default in the paper's era. Its
+	// window growth is a cubic function of time since the last loss,
+	// which makes it far less sensitive to the long and variable RTTs of
+	// a congested wireless path.
+	Cubic
+)
+
+func (c Congestion) String() string {
+	if c == Cubic {
+		return "cubic"
+	}
+	return "reno"
+}
+
+// cubicState carries the per-connection CUBIC variables.
+type cubicState struct {
+	wMax       float64  // window before the last reduction (bytes)
+	k          float64  // time (seconds) to regrow to wMax
+	epochStart sim.Time // start of the current congestion-avoidance epoch
+	// estRTT tracks a smoothed RTT copy for the TCP-friendliness term.
+	ackCount int
+	wTCP     float64
+}
+
+// CUBIC constants (RFC 8312): beta is the multiplicative decrease factor
+// and c the cubic scaling constant.
+const (
+	cubicBeta = 0.7
+	cubicC    = 0.4
+)
+
+// onLoss records a congestion event and returns the reduced window.
+func (cs *cubicState) onLoss(cwnd float64, now sim.Time) float64 {
+	cs.epochStart = 0
+	if cwnd < cs.wMax {
+		// Fast convergence: release bandwidth faster when the available
+		// capacity shrank since the previous epoch.
+		cs.wMax = cwnd * (1 + cubicBeta) / 2
+	} else {
+		cs.wMax = cwnd
+	}
+	next := cwnd * cubicBeta
+	return next
+}
+
+// target computes the cubic window (bytes) at time now with mss-sized
+// granularity; it (re)starts the epoch on first use after a loss.
+func (cs *cubicState) target(cwnd float64, mss int, srtt, now sim.Time) float64 {
+	if cs.epochStart == 0 {
+		cs.epochStart = now
+		if cwnd < cs.wMax {
+			cs.k = math.Cbrt((cs.wMax - cwnd) / float64(mss) / cubicC)
+		} else {
+			cs.k = 0
+			cs.wMax = cwnd
+		}
+		cs.wTCP = cwnd
+		cs.ackCount = 0
+	}
+	t := (now - cs.epochStart + srtt).Seconds()
+	d := t - cs.k
+	wCubic := cubicC*d*d*d*float64(mss) + cs.wMax
+	// TCP-friendly region: never grow slower than Reno would.
+	cs.wTCP += 3 * (1 - cubicBeta) / (1 + cubicBeta) * float64(mss) * float64(mss) / cwnd
+	if cs.wTCP > wCubic {
+		return cs.wTCP
+	}
+	return wCubic
+}

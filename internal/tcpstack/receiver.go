@@ -1,0 +1,245 @@
+package tcpstack
+
+import (
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// ReceiverStats accumulates receiver-side counters.
+type ReceiverStats struct {
+	BytesReceived int64 // in-order bytes delivered to the application
+	SegmentsIn    int64
+	DupSegments   int64
+	OutOfOrder    int64
+	AcksSent      int64
+}
+
+// Receiver is a TCP receive endpoint: cumulative ACKs with a delayed-ACK
+// policy, SACK generation for out-of-order arrivals, and a fixed receive
+// buffer whose free space is advertised (scaled) in every ACK. The
+// application is a bulk reader that drains in-order data immediately —
+// the client side of a download test.
+type Receiver struct {
+	engine *sim.Engine
+	cfg    Config
+	out    Output
+	local  packet.Endpoint
+	remote packet.Endpoint
+
+	state    string // "listen", "established"
+	irs      uint32 // initial remote sequence
+	rcvNxt   uint32
+	ooo      []packet.SACKBlock // out-of-order ranges, sorted by Left
+	oooBytes int
+
+	unackedSegs int
+	delAckTimer *sim.Event
+
+	stats ReceiverStats
+
+	// OnData is invoked as in-order payload is delivered to the app.
+	OnData func(now sim.Time, bytes int)
+}
+
+// NewReceiver builds a passive receiver for the given flow endpoints.
+func NewReceiver(engine *sim.Engine, cfg Config, local, remote packet.Endpoint, out Output) *Receiver {
+	if cfg.MSS <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Receiver{
+		engine: engine, cfg: cfg, out: out,
+		local: local, remote: remote,
+		state: "listen",
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// RcvNxt exposes the next expected sequence number (for tests).
+func (r *Receiver) RcvNxt() uint32 { return r.rcvNxt }
+
+// window returns the advertisable free buffer in bytes. The bulk reader
+// drains in-order data instantly, so only out-of-order bytes occupy the
+// buffer.
+func (r *Receiver) window() int {
+	w := r.cfg.RcvBuf - r.oooBytes
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// scaledWindow converts the byte window to the on-wire (scaled) field.
+func (r *Receiver) scaledWindow() uint16 {
+	w := r.window() >> r.cfg.WScale
+	if w > 65535 {
+		w = 65535
+	}
+	return uint16(w)
+}
+
+// Deliver feeds a datagram from the network.
+func (r *Receiver) Deliver(d *packet.Datagram) {
+	if d.TCP == nil {
+		return
+	}
+	t := d.TCP
+	switch r.state {
+	case "listen":
+		if t.Flags == packet.FlagSYN {
+			r.irs = t.Seq
+			r.rcvNxt = t.Seq + 1
+			r.state = "established" // we treat the final ACK as implicit
+			sa := packet.NewTCPDatagram(r.local, r.remote, 0)
+			sa.TCP.Seq = 2000
+			sa.TCP.Ack = r.rcvNxt
+			sa.TCP.Flags = packet.FlagSYN | packet.FlagACK
+			sa.TCP.Window = r.scaledWindow()
+			sa.TCP.MSS = uint16(r.cfg.MSS)
+			sa.TCP.WindowScale = r.cfg.WScale
+			sa.TCP.SACKPermitted = r.cfg.SACK
+			r.out(sa)
+		}
+	case "established":
+		if d.PayloadLen > 0 {
+			r.handleData(t, d.PayloadLen)
+		}
+	}
+}
+
+func (r *Receiver) handleData(t *packet.TCP, payloadLen int) {
+	r.stats.SegmentsIn++
+	seq := t.Seq
+	end := seq + uint32(payloadLen)
+
+	switch {
+	case seqLEQ(end, r.rcvNxt):
+		// Entirely old data: spurious retransmission. Re-ACK immediately.
+		r.stats.DupSegments++
+		r.sendAck(nil)
+		return
+
+	case seq == r.rcvNxt:
+		// In-order: advance, absorb any contiguous out-of-order ranges.
+		r.deliverApp(payloadLen)
+		r.rcvNxt = end
+		r.absorbOOO()
+		r.unackedSegs++
+		if r.unackedSegs >= r.cfg.DelACKSegs || len(r.ooo) > 0 {
+			r.sendAck(nil)
+		} else {
+			r.armDelAck()
+		}
+
+	case seqLT(r.rcvNxt, seq):
+		// Hole: out-of-order arrival. Immediate duplicate ACK with SACK.
+		r.stats.OutOfOrder++
+		r.addOOO(seq, end, payloadLen)
+		r.sendAck(&packet.SACKBlock{Left: seq, Right: end})
+
+	default:
+		// Partial overlap below rcvNxt: treat the new portion as in-order.
+		fresh := int(end - r.rcvNxt)
+		if fresh > 0 {
+			r.deliverApp(fresh)
+			r.rcvNxt = end
+			r.absorbOOO()
+		}
+		r.sendAck(nil)
+	}
+}
+
+func (r *Receiver) deliverApp(n int) {
+	r.stats.BytesReceived += int64(n)
+	if r.OnData != nil {
+		r.OnData(r.engine.Now(), n)
+	}
+}
+
+func (r *Receiver) addOOO(left, right uint32, payloadLen int) {
+	for _, b := range r.ooo {
+		if seqLEQ(b.Left, left) && seqLEQ(right, b.Right) {
+			return // duplicate of buffered data
+		}
+	}
+	r.ooo = append(r.ooo, packet.SACKBlock{Left: left, Right: right})
+	r.oooBytes += payloadLen
+	sort.Slice(r.ooo, func(i, j int) bool { return seqLT(r.ooo[i].Left, r.ooo[j].Left) })
+	// Merge adjacent/overlapping ranges.
+	merged := r.ooo[:0]
+	for _, b := range r.ooo {
+		if n := len(merged); n > 0 && seqLEQ(b.Left, merged[n-1].Right) {
+			if seqLT(merged[n-1].Right, b.Right) {
+				merged[n-1].Right = b.Right
+			}
+			continue
+		}
+		merged = append(merged, b)
+	}
+	r.ooo = merged
+}
+
+// absorbOOO advances rcvNxt over any now-contiguous buffered ranges.
+func (r *Receiver) absorbOOO() {
+	for len(r.ooo) > 0 && seqLEQ(r.ooo[0].Left, r.rcvNxt) {
+		b := r.ooo[0]
+		if seqLT(r.rcvNxt, b.Right) {
+			n := int(b.Right - r.rcvNxt)
+			r.deliverApp(n)
+			r.rcvNxt = b.Right
+		}
+		r.oooBytes -= int(b.Right - b.Left)
+		if r.oooBytes < 0 {
+			r.oooBytes = 0
+		}
+		r.ooo = r.ooo[1:]
+	}
+}
+
+// sendAck emits a cumulative ACK, optionally carrying SACK blocks: the
+// most recent block first, then up to two more recent holes.
+func (r *Receiver) sendAck(latest *packet.SACKBlock) {
+	r.cancelDelAck()
+	r.unackedSegs = 0
+	ack := packet.NewTCPDatagram(r.local, r.remote, 0)
+	ack.TCP.Seq = 2001
+	ack.TCP.Ack = r.rcvNxt
+	ack.TCP.Flags = packet.FlagACK
+	ack.TCP.Window = r.scaledWindow()
+	if r.cfg.SACK {
+		if latest != nil {
+			ack.TCP.SACK = append(ack.TCP.SACK, *latest)
+		}
+		for i := len(r.ooo) - 1; i >= 0 && len(ack.TCP.SACK) < 4; i-- {
+			b := r.ooo[i]
+			if latest != nil && b == *latest {
+				continue
+			}
+			ack.TCP.SACK = append(ack.TCP.SACK, b)
+		}
+	}
+	r.stats.AcksSent++
+	r.out(ack)
+}
+
+func (r *Receiver) armDelAck() {
+	if r.delAckTimer != nil {
+		return
+	}
+	r.delAckTimer = r.engine.After(r.cfg.DelACKTime, func(e *sim.Engine) {
+		r.delAckTimer = nil
+		if r.unackedSegs > 0 {
+			r.sendAck(nil)
+		}
+	})
+}
+
+func (r *Receiver) cancelDelAck() {
+	if r.delAckTimer != nil {
+		r.delAckTimer.Cancel()
+		r.delAckTimer = nil
+	}
+}

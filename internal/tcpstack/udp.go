@@ -1,0 +1,47 @@
+package tcpstack
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// UDPSource is a constant-bit-rate UDP generator, used as the
+// connectionless upper bound on aggregation in Fig 15: with no ACK clock,
+// the transmit queue stays as full as the offered load allows.
+type UDPSource struct {
+	engine  *sim.Engine
+	out     Output
+	local   packet.Endpoint
+	remote  packet.Endpoint
+	payload int
+	stop    func()
+	Sent    int64
+}
+
+// NewUDPSource builds a CBR source emitting payload-byte datagrams at
+// rateMbps, in small bursts to amortise event overhead.
+func NewUDPSource(engine *sim.Engine, local, remote packet.Endpoint, payload int, rateMbps float64, out Output) *UDPSource {
+	u := &UDPSource{engine: engine, out: out, local: local, remote: remote, payload: payload}
+	if payload <= 0 {
+		u.payload = MSS
+	}
+	const burst = 8
+	interval := sim.Time(float64(burst*u.payload*8) / rateMbps) // µs per burst
+	if interval < 1 {
+		interval = 1
+	}
+	u.stop = engine.Ticker(interval, func(e *sim.Engine) {
+		for i := 0; i < burst; i++ {
+			u.out(packet.NewUDPDatagram(u.local, u.remote, u.payload))
+			u.Sent++
+		}
+	})
+	return u
+}
+
+// Stop halts the source.
+func (u *UDPSource) Stop() {
+	if u.stop != nil {
+		u.stop()
+	}
+}

@@ -1,0 +1,80 @@
+package testbed
+
+import (
+	"repro/internal/dot11"
+	"repro/internal/mac"
+	"repro/internal/pcap"
+	"repro/internal/phy"
+)
+
+// Air capture: when Options.AirCapture is set, every transmitted A-MPDU's
+// subframes and the responding Block Ack are encoded as genuine 802.11
+// frames (QoS data headers, LLC/SNAP encapsulation, compressed BA) into a
+// LinkTypeIEEE80211 pcap — openable directly in Wireshark. This both
+// documents what the simulator puts on the air and exercises the dot11
+// codec end to end.
+
+// llcSNAPIPv4 is the LLC/SNAP header that precedes an IPv4 payload in an
+// 802.11 data frame body.
+var llcSNAPIPv4 = []byte{0xaa, 0xaa, 0x03, 0x00, 0x00, 0x00, 0x08, 0x00}
+
+// stationMAC derives a stable 802.11 address for a simulator station.
+func stationMAC(id mac.StationID) dot11.MAC {
+	return dot11.MAC{0x02, 0x00, 0x00, 0x00, byte(uint16(id) >> 8), byte(id)}
+}
+
+// acToTID maps an access category to its primary TID.
+func acToTID(ac phy.AccessCategory) uint16 {
+	switch ac {
+	case phy.ACBK:
+		return 1
+	case phy.ACVI:
+		return 5
+	case phy.ACVO:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// installAirCapture hooks the medium's transmit path.
+func (tb *Testbed) installAirCapture(w *pcap.Writer) {
+	tb.Medium.OnTransmit = func(fr mac.FrameReport, mpdus []*mac.MPDU) {
+		src := stationMAC(fr.Src)
+		dst := stationMAC(fr.Dst)
+		ba := dot11.BlockAck{RA: src, TA: dst, TID: int(acToTID(fr.AC))}
+		baseSet := false
+
+		for _, m := range mpdus {
+			seq, ok := m.TIDSeq()
+			if !ok {
+				continue
+			}
+			h := dot11.Header{
+				Type:    dot11.TypeData,
+				Subtype: dot11.SubtypeQoSData,
+				FromDS:  true,
+				Retry:   m.Retries > 0,
+				Addr1:   dst,
+				Addr2:   src,
+				Addr3:   src, // BSSID
+				Seq:     uint16(seq) & 0xfff,
+				QoS:     acToTID(fr.AC),
+				HasQoS:  true,
+			}
+			frame := h.Encode(nil)
+			frame = append(frame, llcSNAPIPv4...)
+			frame = append(frame, m.Dgram.Marshal()...)
+			_ = w.WritePacket(fr.At, frame)
+
+			if !baseSet {
+				ba.StartSeq = uint16(seq) & 0xfff
+				baseSet = true
+			}
+			ba.SetAcked(uint16(seq) & 0xfff)
+		}
+		if baseSet {
+			_ = w.WritePacket(fr.At, ba.Encode(nil))
+		}
+	}
+}

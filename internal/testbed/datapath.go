@@ -1,0 +1,170 @@
+package testbed
+
+import (
+	"repro/internal/fastack"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// acForDatagram maps DSCP to an access category; testbed bulk flows are
+// unmarked, so everything rides Best Effort like the field data (§3.2.4).
+func acForDatagram(d *packet.Datagram) phy.AccessCategory {
+	switch d.IP.DSCP() >> 3 {
+	case 1: // CS1: background
+		return phy.ACBK
+	case 4, 5: // CS4/CS5: video
+		return phy.ACVI
+	case 6, 7: // CS6/CS7: voice
+		return phy.ACVO
+	default:
+		return phy.ACBE
+	}
+}
+
+// fromWire handles a downlink datagram arriving on the AP's Ethernet port.
+func (ap *AP) fromWire(d *packet.Datagram) {
+	c, ok := ap.clientsByAddr[d.IP.Dst]
+	if !ok {
+		return // not one of ours (e.g. other AP's client): switch floods away
+	}
+	ac := acForDatagram(d)
+
+	if ap.Agent == nil {
+		ap.trackTCPData(d)
+		ap.Station.Enqueue(d, c.Station.ID, ac)
+		return
+	}
+
+	disp := ap.Agent.HandleDownlink(d)
+	ap.route(disp, c, ac)
+	if disp.Forward {
+		ap.trackTCPData(d)
+		if disp.Elevate {
+			ap.Station.EnqueueFront(d, c.Station.ID, ac)
+		} else {
+			ap.Station.Enqueue(d, c.Station.ID, ac)
+		}
+	}
+}
+
+// route dispatches injected packets from a FastACK disposition.
+func (ap *AP) route(disp fastack.Disposition, c *Client, ac phy.AccessCategory) {
+	for _, up := range disp.ToSender {
+		ap.tb.wireToSender(up)
+	}
+	for _, down := range disp.ToClient {
+		// Cache re-drives go to the head of the queue: they fill holes the
+		// client is stalled on.
+		if cc, ok := ap.clientsByAddr[down.IP.Dst]; ok {
+			ap.Station.EnqueueFront(down, cc.Station.ID, ac)
+		}
+	}
+}
+
+// onWirelessAck receives block-ACK feedback for the AP's own transmissions.
+func (ap *AP) onWirelessAck(m *mac.MPDU, ok bool, now sim.Time) {
+	if ok && ap.tb.warmupDone {
+		ap.tb.Lat80211.Add((now - m.EnqueuedAt).Millis())
+	}
+	if ap.Agent == nil {
+		return
+	}
+	disp := ap.Agent.HandleWirelessAck(m.Dgram, ok)
+	if c, found := ap.clientsByAddr[m.Dgram.IP.Dst]; found {
+		ap.route(disp, c, m.AC)
+	}
+}
+
+// fromWireless handles an uplink MPDU (client -> AP): TCP ACKs and any
+// client data headed for the wire.
+func (ap *AP) fromWireless(m *mac.MPDU) {
+	d := m.Dgram
+	ap.trackTCPAck(d)
+
+	if ap.Agent == nil {
+		ap.tb.wireToSender(d)
+		return
+	}
+	disp := ap.Agent.HandleUplink(d)
+	if c, found := ap.clientsByAddr[d.IP.Src]; found {
+		ap.route(disp, c, phy.ACBE)
+	}
+	if disp.Forward {
+		ap.tb.wireToSender(d)
+	}
+}
+
+// fromAir handles an MPDU arriving at a client station.
+func (c *Client) fromAir(m *mac.MPDU) {
+	d := m.Dgram
+	if d.IP.Dst != c.Addr {
+		return
+	}
+	// Bad-hint emulation (§5.7): the MPDU was 802.11-ACKed (we are inside
+	// OnReceive, so the block ACK covered it) but the driver loses it
+	// before the transport layer sees it. Observed under FastACK's deep
+	// pipelining, so only applied when this AP runs the agent; at most
+	// one MPDU per A-MPDU (batch of same-instant deliveries) is lost.
+	if r := c.tb.Opt.BadHintRate; r > 0 && c.AP.Agent != nil && d.TCP != nil && d.PayloadLen > 0 {
+		now := c.tb.Engine.Now()
+		if now != c.badBatchAt {
+			c.badBatchAt = now
+			c.badBatchArm = c.tb.Engine.Rand().Float64() < r
+			c.badBatchUsed = false
+		}
+		if c.badBatchArm && !c.badBatchUsed {
+			c.badBatchUsed = true
+			return
+		}
+	}
+	switch {
+	case d.TCP != nil && c.Receiver != nil:
+		c.Receiver.Deliver(d)
+	case d.UDP != nil:
+		c.UDPBytes += int64(d.PayloadLen)
+	}
+}
+
+// trackTCPData records the AP-side forward time of a TCP data segment for
+// the paper's TCP-latency metric: "the interval between processing a TCP
+// data packet and processing the corresponding TCP ACK" (§4.6.2).
+func (ap *AP) trackTCPData(d *packet.Datagram) {
+	if d.TCP == nil || d.PayloadLen == 0 {
+		return
+	}
+	if len(ap.latPending) > 65536 {
+		return // bound memory under pathological loss
+	}
+	k := latKey{flow: d.Flow(), end: d.TCP.Seq + uint32(d.PayloadLen)}
+	if _, dup := ap.latPending[k]; !dup {
+		ap.latPending[k] = ap.tb.Engine.Now()
+	}
+}
+
+// trackTCPAck matches a client TCP ACK against pending data segments.
+func (ap *AP) trackTCPAck(d *packet.Datagram) {
+	if d.TCP == nil || !d.TCP.HasFlag(packet.FlagACK) || d.PayloadLen > 0 {
+		return
+	}
+	flow := d.Flow().Reverse()
+	k := latKey{flow: flow, end: d.TCP.Ack}
+	if t0, found := ap.latPending[k]; found {
+		if ap.tb.warmupDone {
+			ap.tb.LatTCP.Add((ap.tb.Engine.Now() - t0).Millis())
+		}
+		delete(ap.latPending, k)
+	}
+	// Cumulative ACKs cover earlier segments too; sweep lazily when the
+	// table grows (cheap amortised cleanup).
+	if len(ap.latPending) > 4096 {
+		for kk := range ap.latPending {
+			if kk.flow == flow && seqLEQ(kk.end, d.TCP.Ack) {
+				delete(ap.latPending, kk)
+			}
+		}
+	}
+}
+
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }

@@ -1,0 +1,109 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+)
+
+// Channel dynamics: real 802.11 links are not static. People walk through
+// Fresnel zones, doors open, neighbouring devices key up. The testbed
+// models each client's link SNR as a Gauss-Markov process around its base
+// value, with occasional deep-fade events. During a fade the rate
+// controller's current MCS suddenly carries a high PER, MAC retries
+// exhaust, and MPDUs drop — the wireless losses that make baseline TCP
+// back off end-to-end (and that FastACK absorbs with local
+// retransmissions, §5.5.1).
+//
+// Each client owns a dedicated RNG seeded from (seed, client index) and
+// the fade process is sampled on a fixed 100 ms grid, so the channel
+// realisation is identical across runs regardless of AP mode or traffic —
+// baseline and FastACK are compared over the same air.
+
+// FadingOptions tunes the channel dynamics.
+type FadingOptions struct {
+	Disabled bool
+	// SigmaDB is the stationary std-dev of the Gauss-Markov jitter.
+	SigmaDB float64
+	// Rho is the per-step (100 ms) autocorrelation.
+	Rho float64
+	// EventsPerMinute is the mean rate of deep-fade events per client.
+	EventsPerMinute float64
+	// DepthMinDB/DepthMaxDB bound the fade depth.
+	DepthMinDB, DepthMaxDB float64
+	// DurMin/DurMax bound the fade duration.
+	DurMin, DurMax sim.Time
+}
+
+// DefaultFading matches a quiet performance lab: modest jitter, with a
+// deep fade (someone walking through the path) every couple of minutes
+// per client.
+func DefaultFading() FadingOptions {
+	return FadingOptions{
+		SigmaDB:         2.0,
+		Rho:             0.9,
+		EventsPerMinute: 0.5,
+		DepthMinDB:      8,
+		DepthMaxDB:      18,
+		DurMin:          100 * sim.Millisecond,
+		DurMax:          600 * sim.Millisecond,
+	}
+}
+
+const fadeStep = 100 * sim.Millisecond
+
+type fader struct {
+	c    *Client
+	rng  *rand.Rand
+	opt  FadingOptions
+	base float64
+
+	jitter    float64
+	fadeLeft  int // remaining steps of the active fade
+	fadeDepth float64
+}
+
+func (tb *Testbed) startFading() {
+	if tb.Opt.Fading.Disabled {
+		return
+	}
+	opt := tb.Opt.Fading
+	if opt.SigmaDB == 0 && opt.EventsPerMinute == 0 {
+		opt = DefaultFading()
+	}
+	for _, c := range tb.Clients {
+		f := &fader{
+			c:    c,
+			rng:  rand.New(rand.NewSource(tb.Opt.Seed*1000003 + int64(c.Index))),
+			opt:  opt,
+			base: c.SNR,
+		}
+		tb.Engine.Ticker(fadeStep, f.step)
+	}
+}
+
+func (f *fader) step(e *sim.Engine) {
+	o := f.opt
+	// Gauss-Markov jitter around the base SNR.
+	f.jitter = o.Rho*f.jitter + o.SigmaDB*f.rng.NormFloat64()*math.Sqrt(1-o.Rho*o.Rho)
+
+	// Deep-fade event process.
+	if f.fadeLeft > 0 {
+		f.fadeLeft--
+	} else {
+		f.fadeDepth = 0
+		pEvent := o.EventsPerMinute / 60 * fadeStep.Seconds()
+		if f.rng.Float64() < pEvent {
+			f.fadeDepth = o.DepthMinDB + f.rng.Float64()*(o.DepthMaxDB-o.DepthMinDB)
+			dur := o.DurMin + sim.Time(f.rng.Int63n(int64(o.DurMax-o.DurMin+1)))
+			f.fadeLeft = int(dur / fadeStep)
+			if f.fadeLeft < 1 {
+				f.fadeLeft = 1
+			}
+		}
+	}
+
+	snr := f.base + f.jitter - f.fadeDepth
+	f.c.tb.Medium.SetSNR(f.c.AP.Station.ID, f.c.Station.ID, snr)
+}

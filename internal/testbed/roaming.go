@@ -1,0 +1,60 @@
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Roam moves a client's association from its current AP to APs[toAP],
+// transferring FastACK flow state when both APs run the agent (§5.5.4:
+// "FastACK must implement a mechanism to detect the roam and to transfer
+// state from the roam-from AP to the roam-to AP"). The wired switch
+// immediately re-learns the client's port, so subsequent downlink traffic
+// arrives at the roam-to AP; packets still queued at the roam-from AP's
+// radio drain over the shared medium and are either heard by the client
+// (same room) or recovered by the transferred retransmission cache.
+func (tb *Testbed) Roam(clientIdx, toAP int) error {
+	if clientIdx < 0 || clientIdx >= len(tb.Clients) {
+		return fmt.Errorf("testbed: no client %d", clientIdx)
+	}
+	if toAP < 0 || toAP >= len(tb.APs) {
+		return fmt.Errorf("testbed: no AP %d", toAP)
+	}
+	c := tb.Clients[clientIdx]
+	from := c.AP
+	to := tb.APs[toAP]
+	if from == to {
+		return nil
+	}
+
+	// Re-home the association. Frames still queued at the roam-from radio
+	// are flushed: the distribution system now delivers through the
+	// roam-to AP, and anything lost in the gap is covered by the
+	// transferred retransmission cache (or the sender's SACK recovery).
+	delete(from.clientsByAddr, c.Addr)
+	from.Station.FlushDst(c.Station.ID)
+	to.clientsByAddr[c.Addr] = c
+	c.AP = to
+	tb.Medium.SetSNR(to.Station.ID, c.Station.ID, c.SNR)
+
+	// Transfer FastACK state for every flow addressed to this client.
+	if from.Agent != nil && to.Agent != nil {
+		serverEP := packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(5000 + c.Index)}
+		clientEP := packet.Endpoint{Addr: c.Addr, Port: 80}
+		flow := packet.Flow{Proto: packet.ProtoTCP, Src: serverEP, Dst: clientEP}
+		if ex, ok := from.Agent.Export(flow); ok {
+			resync := to.Agent.Import(ex)
+			from.Agent.Drop(flow)
+			// Re-advertise the window from the new AP so a sender stalled
+			// on the roam-from AP's last advertisement resumes.
+			tb.wireToSender(resync)
+			// Re-drive the cache into the roam-to radio: the flushed
+			// frames reach the client ahead of any end-to-end repair.
+			for _, d := range ex.Cache {
+				to.Station.Enqueue(d, c.Station.ID, acForDatagram(d))
+			}
+		}
+	}
+	return nil
+}

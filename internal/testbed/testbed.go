@@ -1,0 +1,430 @@
+// Package testbed reproduces the §5.6 performance lab: one or two 802.11ac
+// APs on a shared channel, a configurable population of 3x3 MacBook-class
+// clients, a wired TCP sender behind a multigigabit switch, and per-flow
+// ixChariot-style bulk transfers. Each AP runs either the baseline TCP
+// path (pure bridge) or the FastACK agent.
+//
+// The testbed wires together the mac, tcpstack, fastack, phy and packet
+// substrates on one discrete-event engine and exposes the measurements the
+// paper reports: per-client throughput, 802.11 vs TCP latency, cwnd
+// traces, A-MPDU aggregate sizes, and airtime shares.
+package testbed
+
+import (
+	"fmt"
+
+	"repro/internal/fastack"
+	"repro/internal/mac"
+	"repro/internal/packet"
+	"repro/internal/pcap"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/stats"
+	"repro/internal/tcpstack"
+)
+
+// Mode selects an AP's datapath.
+type Mode int
+
+const (
+	// Baseline bridges TCP unchanged (the paper's "TCP Baseline").
+	Baseline Mode = iota
+	// FastACK enables the fastack agent on the AP.
+	FastACK
+)
+
+func (m Mode) String() string {
+	if m == FastACK {
+		return "FastACK"
+	}
+	return "Baseline"
+}
+
+// Traffic selects the flow type for clients.
+type Traffic int
+
+const (
+	// TCPBulk runs one saturating TCP download per client.
+	TCPBulk Traffic = iota
+	// UDPBulk runs a constant-bit-rate UDP download per client (the Fig 15
+	// aggregation upper bound).
+	UDPBulk
+)
+
+// Options configures a testbed run.
+type Options struct {
+	Seed    int64
+	APModes []Mode // one AP per entry; all share one collision domain
+	// ClientsPerAP assigns this many clients to each AP.
+	ClientsPerAP int
+	Traffic      Traffic
+	// UDPRateMbps is the per-client offered load for UDPBulk.
+	UDPRateMbps float64
+
+	// WiredDelay is the one-way sender<->AP latency through the switch.
+	WiredDelay sim.Time
+	// ClientTxDelay models client host-stack latency before transmitting
+	// (§5.1: "many client devices take over 2 ms to even begin
+	// transmitting TCP ACKs").
+	ClientTxDelay sim.Time
+	// SNRMin/SNRMax spread clients uniformly across this link-quality
+	// range (near vs far clients, Fig 17's low performers).
+	SNRMin, SNRMax float64
+	// BadHintRate is the probability that a received A-MPDU contains one
+	// MPDU that was 802.11-ACKed but never reaches the client's transport
+	// layer (§5.7 reports ≈1.5% bad hints on Broadcom Macbooks). The
+	// paper observed this under FastACK's deep pipelining, so the testbed
+	// applies it only when the serving AP runs FastACK; the agent
+	// recovers with local retransmissions.
+	BadHintRate float64
+
+	// Fading configures link-SNR dynamics (see fading.go).
+	Fading FadingOptions
+
+	// APSharedPool is the AP driver's shared tx-descriptor pool in MPDUs.
+	APSharedPool int
+	// APPerClientQueue is the per-STA (per-TID) driver queue depth.
+	APPerClientQueue int
+
+	Width spectrum.Width
+	NSS   int
+
+	TCP     tcpstack.Config
+	FastACK fastack.Config
+
+	// Warmup excludes the initial transient from collected statistics.
+	Warmup sim.Time
+
+	// Capture, when non-nil, receives every datagram crossing the APs'
+	// wired ports as a raw-IP pcap stream (openable in Wireshark).
+	Capture *pcap.Writer
+	// AirCapture, when non-nil, receives every transmitted 802.11 frame
+	// (QoS data subframes + block ACKs) as a LinkTypeIEEE80211 pcap.
+	AirCapture *pcap.Writer
+}
+
+// DefaultOptions mirrors the paper's testbed: 802.11ac wave-2 3x3 AP,
+// 80 MHz, 3x3 clients, a few ms of client host-stack latency.
+func DefaultOptions() Options {
+	return Options{
+		Seed:             1,
+		APModes:          []Mode{Baseline},
+		ClientsPerAP:     10,
+		Traffic:          TCPBulk,
+		UDPRateMbps:      120,
+		WiredDelay:       500 * sim.Microsecond,
+		ClientTxDelay:    4 * sim.Millisecond,
+		SNRMin:           24,
+		SNRMax:           44,
+		Width:            spectrum.W80,
+		NSS:              3,
+		TCP:              tcpstack.DefaultConfig(),
+		FastACK:          fastack.DefaultConfig(),
+		Fading:           DefaultFading(),
+		APSharedPool:     2048,
+		APPerClientQueue: 64,
+		Warmup:           2 * sim.Second,
+	}
+}
+
+// AP is one access point: a MAC station plus the wired port and an
+// optional FastACK agent.
+type AP struct {
+	tb      *Testbed
+	Index   int
+	Mode    Mode
+	Station *mac.Station
+	Agent   *fastack.Agent // nil for Baseline
+
+	clientsByAddr map[packet.IPv4Addr]*Client
+
+	// tcpLatency tracking (Fig 10 / §4.6.2): data seq end -> forward time.
+	latPending map[latKey]sim.Time
+}
+
+type latKey struct {
+	flow packet.Flow
+	end  uint32
+}
+
+// Client is one wireless station running a receiver endpoint.
+type Client struct {
+	tb       *Testbed
+	Index    int
+	AP       *AP
+	Station  *mac.Station
+	Addr     packet.IPv4Addr
+	Receiver *tcpstack.Receiver // TCPBulk
+	SNR      float64
+
+	UDPBytes    int64 // UDPBulk sink
+	warmupBytes int64 // bytes received before the warmup cutoff
+	wbLatched   bool
+
+	// Bad-hint batching: MPDUs delivered at the same instant belong to
+	// one A-MPDU; at most one per affected frame is lost to the driver.
+	badBatchAt   sim.Time
+	badBatchArm  bool
+	badBatchUsed bool
+}
+
+// Sender is the wired-side TCP sender for one client's flow.
+type Sender struct {
+	Client *Client
+	TCP    *tcpstack.Sender
+	UDP    *tcpstack.UDPSource
+	// CwndTrace samples (time, cwnd segments) for Fig 14.
+	CwndTrace []CwndSample
+}
+
+// CwndSample is one tcp_probe-style observation.
+type CwndSample struct {
+	At       sim.Time
+	Segments int
+}
+
+// Testbed is a fully wired simulation instance.
+type Testbed struct {
+	Opt     Options
+	Engine  *sim.Engine
+	Medium  *mac.Medium
+	APs     []*AP
+	Clients []*Client
+	Senders []*Sender
+
+	// Measurement collectors (post-warmup).
+	Lat80211     *stats.Sample         // ms, AP downlink MPDU wire->802.11-ACK
+	LatTCP       *stats.Sample         // ms, AP data-forward -> corresponding TCP ACK seen
+	AggAP        map[int]*stats.Sample // per-AP A-MPDU sizes (downlink data frames)
+	AggPerClient map[int]*stats.Sample // per-client aggregate sizes
+
+	warmupDone bool
+}
+
+// New constructs and wires a testbed.
+func New(opt Options) *Testbed {
+	if len(opt.APModes) == 0 {
+		opt.APModes = []Mode{Baseline}
+	}
+	if opt.ClientsPerAP <= 0 {
+		opt.ClientsPerAP = 1
+	}
+	if opt.FastACK.FlowQueueBudget == 0 && opt.APPerClientQueue > 0 {
+		// Hold each flow's driver queue just below the per-STA cap, and
+		// keep the sum across flows inside the shared pool.
+		opt.FastACK.FlowQueueBudget = (opt.APPerClientQueue - 8) * 1448
+		if opt.APSharedPool > 0 {
+			if share := opt.APSharedPool * 1448 * 9 / 10 / opt.ClientsPerAP; share < opt.FastACK.FlowQueueBudget {
+				opt.FastACK.FlowQueueBudget = share
+			}
+		}
+	} else if opt.APPerClientQueue > 0 {
+		// Invariant: the agent must never admit more per flow than the
+		// per-STA driver queue can hold, or its own vouched-for packets
+		// tail-drop and strand the sender on RTOs.
+		if max := (opt.APPerClientQueue - 8) * 1448; opt.FastACK.FlowQueueBudget > max {
+			opt.FastACK.FlowQueueBudget = max
+		}
+	}
+	tb := &Testbed{
+		Opt:          opt,
+		Engine:       sim.NewEngine(opt.Seed),
+		Lat80211:     stats.NewSample(4096),
+		LatTCP:       stats.NewSample(4096),
+		AggAP:        map[int]*stats.Sample{},
+		AggPerClient: map[int]*stats.Sample{},
+	}
+	tb.Medium = mac.NewMedium(tb.Engine, 35)
+	tb.Medium.OnFrame = tb.onFrame
+	if opt.AirCapture != nil {
+		tb.installAirCapture(opt.AirCapture)
+	}
+
+	for i, mode := range opt.APModes {
+		ap := &AP{
+			tb: tb, Index: i, Mode: mode,
+			clientsByAddr: map[packet.IPv4Addr]*Client{},
+			latPending:    map[latKey]sim.Time{},
+		}
+		ap.Station = tb.Medium.AddStation(mac.StationConfig{
+			Name: fmt.Sprintf("ap%d", i), NSS: opt.NSS, Width: opt.Width,
+			GI: phy.SGI, IsAP: true,
+			// Driver limits of a wave-2 AP: a shallow per-STA (per-TID)
+			// queue — one block-ack window plus change — and a shared
+			// tx-descriptor pool. ACK-clocked baseline senders overrun
+			// the per-STA queue in bursts (tail drops -> cwnd sawtooth,
+			// drained queues, small aggregates); the FastACK agent's
+			// per-flow queue budget holds it just below the cap.
+			QueueLimit:      opt.APPerClientQueue,
+			SharedPoolLimit: opt.APSharedPool,
+		})
+		if mode == FastACK {
+			ap.Agent = fastack.New(opt.FastACK, tb.Engine.Now)
+		}
+		st := ap.Station
+		st.OnReceive = func(m *mac.MPDU, now sim.Time) { ap.fromWireless(m) }
+		st.OnDelivered = func(m *mac.MPDU, ok bool, now sim.Time) { ap.onWirelessAck(m, ok, now) }
+		tb.APs = append(tb.APs, ap)
+		tb.AggAP[i] = stats.NewSample(4096)
+	}
+
+	clientIdx := 0
+	for _, ap := range tb.APs {
+		for j := 0; j < opt.ClientsPerAP; j++ {
+			tb.addClient(ap, clientIdx)
+			clientIdx++
+		}
+	}
+	return tb
+}
+
+func (tb *Testbed) addClient(ap *AP, idx int) {
+	opt := tb.Opt
+	snr := opt.SNRMin
+	if opt.SNRMax > opt.SNRMin {
+		snr += tb.Engine.Rand().Float64() * (opt.SNRMax - opt.SNRMin)
+	}
+	c := &Client{
+		tb: tb, Index: idx, AP: ap, SNR: snr,
+		Addr: packet.IPv4AddrFromUint32(0x0a000100 + uint32(idx)), // 10.0.1.x
+	}
+	c.Station = tb.Medium.AddStation(mac.StationConfig{
+		Name: fmt.Sprintf("c%d", idx), NSS: opt.NSS, Width: opt.Width,
+		GI: phy.SGI, TxDelay: opt.ClientTxDelay,
+	})
+	tb.Medium.SetSNR(ap.Station.ID, c.Station.ID, snr)
+	c.Station.OnReceive = func(m *mac.MPDU, now sim.Time) { c.fromAir(m) }
+	ap.clientsByAddr[c.Addr] = c
+	tb.Clients = append(tb.Clients, c)
+	tb.AggPerClient[idx] = stats.NewSample(1024)
+
+	serverEP := packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(5000 + idx)}
+	clientEP := packet.Endpoint{Addr: c.Addr, Port: 80}
+	snd := &Sender{Client: c}
+	switch opt.Traffic {
+	case UDPBulk:
+		// Started in Run so the ticker aligns with t=0.
+		snd.UDP = nil
+	default:
+		snd.TCP = tcpstack.NewSender(tb.Engine, opt.TCP, serverEP, clientEP, func(d *packet.Datagram) {
+			// Route through the client's *current* AP: after a roam, the
+			// switch forwards to the roam-to port (§5.5.4).
+			tb.wireToAP(c.AP, d)
+		})
+		snd.TCP.OnCwnd = func(now sim.Time, cwndBytes int) {
+			snd.CwndTrace = append(snd.CwndTrace, CwndSample{At: now, Segments: cwndBytes / opt.TCP.MSS})
+		}
+		c.Receiver = tcpstack.NewReceiver(tb.Engine, opt.TCP, clientEP, serverEP, func(d *packet.Datagram) {
+			c.Station.Enqueue(d, c.AP.Station.ID, phy.ACBE)
+		})
+	}
+	tb.Senders = append(tb.Senders, snd)
+}
+
+// wireToAP delivers a datagram from the wired sender to the AP after the
+// switch latency.
+func (tb *Testbed) wireToAP(ap *AP, d *packet.Datagram) {
+	tb.capture(d)
+	tb.Engine.After(tb.Opt.WiredDelay, func(e *sim.Engine) {
+		ap.fromWire(d)
+	})
+}
+
+// capture appends a datagram to the optional pcap stream.
+func (tb *Testbed) capture(d *packet.Datagram) {
+	if tb.Opt.Capture == nil {
+		return
+	}
+	// Capture errors are surfaced by the writer's own state; a broken
+	// sink must not perturb the experiment.
+	_ = tb.Opt.Capture.WritePacket(tb.Engine.Now(), d.Marshal())
+}
+
+// wireToSender delivers a datagram from the AP to the wired sender.
+func (tb *Testbed) wireToSender(d *packet.Datagram) {
+	tb.capture(d)
+	tb.Engine.After(tb.Opt.WiredDelay, func(e *sim.Engine) {
+		// Route on destination port: sender endpoints are 10.0.0.1:5000+i.
+		if d.TCP == nil {
+			return
+		}
+		i := int(d.TCP.DstPort) - 5000
+		if i >= 0 && i < len(tb.Senders) && tb.Senders[i].TCP != nil {
+			tb.Senders[i].TCP.Deliver(d)
+		}
+	})
+}
+
+// Run executes the scenario for the given duration.
+func (tb *Testbed) Run(duration sim.Time) {
+	opt := tb.Opt
+	tb.startFading()
+	// Start flows with a small stagger to avoid synchronized handshakes.
+	for i, snd := range tb.Senders {
+		switch {
+		case snd.TCP != nil:
+			s := snd.TCP
+			tb.Engine.Schedule(sim.Time(i)*sim.Millisecond, func(e *sim.Engine) { s.Start() })
+		case opt.Traffic == UDPBulk:
+			c := snd.Client
+			serverEP := packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(5000 + c.Index)}
+			clientEP := packet.Endpoint{Addr: c.Addr, Port: 80}
+			ap := c.AP
+			snd.UDP = tcpstack.NewUDPSource(tb.Engine, serverEP, clientEP, tcpstack.MSS, opt.UDPRateMbps,
+				func(d *packet.Datagram) { tb.wireToAP(ap, d) })
+		}
+	}
+	// Latch warmup counters.
+	tb.Engine.Schedule(opt.Warmup, func(e *sim.Engine) {
+		tb.warmupDone = true
+		for _, c := range tb.Clients {
+			c.latchWarmup()
+		}
+	})
+	tb.Engine.RunUntil(duration)
+}
+
+func (c *Client) latchWarmup() {
+	if c.Receiver != nil {
+		c.warmupBytes = c.Receiver.Stats().BytesReceived
+	} else {
+		c.warmupBytes = c.UDPBytes
+	}
+	c.wbLatched = true
+}
+
+// GoodputMbps returns the client's post-warmup application goodput.
+func (c *Client) GoodputMbps(duration sim.Time) float64 {
+	var total int64
+	if c.Receiver != nil {
+		total = c.Receiver.Stats().BytesReceived
+	} else {
+		total = c.UDPBytes
+	}
+	span := duration - c.tb.Opt.Warmup
+	if !c.wbLatched || span <= 0 {
+		span = duration
+	}
+	bytes := total - c.warmupBytes
+	return float64(bytes) * 8 / span.Seconds() / 1e6
+}
+
+// onFrame feeds the aggregation collectors.
+func (tb *Testbed) onFrame(fr mac.FrameReport) {
+	if !tb.warmupDone || fr.Collision {
+		return
+	}
+	for _, ap := range tb.APs {
+		if fr.Src == ap.Station.ID {
+			tb.AggAP[ap.Index].Add(float64(fr.AggSize))
+			for _, c := range tb.Clients {
+				if c.Station.ID == fr.Dst {
+					tb.AggPerClient[c.Index].Add(float64(fr.AggSize))
+					break
+				}
+			}
+			return
+		}
+	}
+}

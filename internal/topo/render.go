@@ -1,0 +1,69 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderPlan draws the scenario's AP positions and 5 GHz channel plan as
+// an ASCII floor map: one glyph per AP, glyphs shared by co-channel APs.
+// Adjacent identical glyphs are the contention hot-spots a planner should
+// have eliminated, which makes plan quality visible at a glance in a
+// terminal.
+func (s *Scenario) RenderPlan(cols, rows int) string {
+	if cols <= 0 {
+		cols = 72
+	}
+	if rows <= 0 {
+		rows = 20
+	}
+	// Bounding box.
+	maxX, maxY := 1.0, 1.0
+	for _, ap := range s.APs {
+		if ap.Pos.X > maxX {
+			maxX = ap.Pos.X
+		}
+		if ap.Pos.Y > maxY {
+			maxY = ap.Pos.Y
+		}
+	}
+
+	// Stable glyph per channel number: sort the distinct channels.
+	glyphs := "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var chans []int
+	seen := map[int]bool{}
+	for _, ap := range s.APs {
+		if !seen[ap.Channel.Number] {
+			seen[ap.Channel.Number] = true
+			chans = append(chans, ap.Channel.Number)
+		}
+	}
+	sort.Ints(chans)
+	glyphOf := map[int]byte{}
+	for i, c := range chans {
+		glyphOf[c] = glyphs[i%len(glyphs)]
+	}
+
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", cols))
+	}
+	for _, ap := range s.APs {
+		x := int(ap.Pos.X / (maxX + 1) * float64(cols))
+		y := int(ap.Pos.Y / (maxY + 1) * float64(rows))
+		grid[y][x] = glyphOf[ap.Channel.Number]
+	}
+
+	var b strings.Builder
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend:")
+	for _, c := range chans {
+		fmt.Fprintf(&b, " %c=ch%d", glyphOf[c], c)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package turboca
+
+import "repro/internal/spectrum"
+
+// chanIdx is a compact channel identity within one planning problem:
+// candidates and current assignments are interned into a small table so
+// the hot loops (overlap tests, sub-channel walks) become array lookups.
+type chanIdx int
+
+const noChan chanIdx = -1
+
+// chanTable interns channels and precomputes the relations the metric
+// evaluation needs.
+type chanTable struct {
+	chans []spectrum.Channel
+	byKey map[chanKey]chanIdx
+
+	// overlap[a][b] reports spectral intersection.
+	overlap [][]bool
+	// subAt[c][w] is the w-width sub-channel of c anchored at its
+	// primary, itself interned; noChan where w exceeds c's width.
+	subAt [][4]chanIdx
+	// sub20s[c] lists c's 20 MHz channel numbers.
+	sub20s [][]int
+}
+
+type chanKey struct {
+	band   spectrum.Band
+	number int
+	width  spectrum.Width
+}
+
+func keyOf(c spectrum.Channel) chanKey {
+	return chanKey{band: c.Band, number: c.Number, width: c.Width}
+}
+
+func widthSlot(w spectrum.Width) int {
+	switch w {
+	case spectrum.W20:
+		return 0
+	case spectrum.W40:
+		return 1
+	case spectrum.W80:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func newChanTable() *chanTable {
+	return &chanTable{byKey: map[chanKey]chanIdx{}}
+}
+
+// intern adds c (and its narrower anchored sub-channels) to the table and
+// returns its index.
+func (t *chanTable) intern(c spectrum.Channel) chanIdx {
+	if c.Width == 0 {
+		return noChan
+	}
+	if idx, ok := t.byKey[keyOf(c)]; ok {
+		return idx
+	}
+	idx := chanIdx(len(t.chans))
+	t.chans = append(t.chans, c)
+	t.byKey[keyOf(c)] = idx
+	t.sub20s = append(t.sub20s, c.Sub20Numbers())
+	t.subAt = append(t.subAt, [4]chanIdx{noChan, noChan, noChan, noChan})
+
+	// Anchored narrower sub-channels (may recurse into intern).
+	subs := [4]chanIdx{noChan, noChan, noChan, noChan}
+	cur := c
+	for {
+		subs[widthSlot(cur.Width)] = t.intern(cur)
+		if cur.Width == spectrum.W20 {
+			break
+		}
+		cur = spectrum.Narrower(cur)
+	}
+	t.subAt[idx] = subs
+	return idx
+}
+
+// finalize computes the overlap matrix; call after all interning.
+func (t *chanTable) finalize() {
+	n := len(t.chans)
+	t.overlap = make([][]bool, n)
+	for i := 0; i < n; i++ {
+		t.overlap[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			t.overlap[i][j] = t.chans[i].Overlaps(t.chans[j])
+		}
+	}
+}
+
+// channel returns the interned channel.
+func (t *chanTable) channel(i chanIdx) spectrum.Channel { return t.chans[i] }

@@ -1,0 +1,365 @@
+// Package turboca implements the TurboCA automatic channel assignment
+// algorithm of Section 4: the NodeP/NetP performance metrics (§4.4.1), the
+// per-AP channel calculation ACC (§4.4.2), the randomized network pass NBO
+// (Algorithm 1, §4.4.3), the multi-cadence run-time schedule (§4.4.4), the
+// DFS/CSA practical rules (§4.5), and the prior-generation baseline
+// ReservedCA (§4.6.1) it is evaluated against.
+//
+// Evaluation hot paths use interned channels and dense AP indexing so a
+// 600-AP campus plans in milliseconds; the exported API speaks AP IDs and
+// spectrum.Channel values.
+package turboca
+
+import (
+	"math"
+
+	"repro/internal/spectrum"
+)
+
+// APView is everything the planner knows about one AP — exactly the data
+// the Meraki backend collects: current assignment, capability, client
+// width/usage mix, neighbor reports, and per-20MHz-channel external
+// (non-network) utilization.
+type APView struct {
+	ID       int
+	Current  spectrum.Channel
+	MaxWidth spectrum.Width
+	// HasClients gates DFS moves (§4.5.2) and switch penalties.
+	HasClients bool
+	// CSAFraction is the share of associated clients that honor Channel
+	// Switch Announcements; the rest rescan on a switch (§4.3.1).
+	CSAFraction float64
+	// Load is the AP's traffic weight (normalized usage); it exponentiates
+	// channel_metric inside NodeP and weights NBO's random picks.
+	Load float64
+	// WidthLoad[b] is the usage share of clients whose maximum channel
+	// width is b. Clients wider than the AP's assignment collapse onto
+	// the assigned width at evaluation time.
+	WidthLoad map[spectrum.Width]float64
+	// Neighbors lists AP IDs whose transmissions this AP can hear.
+	Neighbors []int
+	// ExternalUtil maps 20 MHz channel number -> non-network utilization
+	// fraction observed by the scanning radio.
+	ExternalUtil map[int]float64
+	// Utilization is the AP's current-channel total utilization, used for
+	// the §4.5.1 high-utilization penalty scaling.
+	Utilization float64
+}
+
+// Input is one band's planning problem.
+type Input struct {
+	Band spectrum.Band
+	APs  []APView
+	// AllowDFS admits DFS channels (subject to the has-clients rule).
+	AllowDFS bool
+	// MaxWidth caps assignments network-wide (admin override, Table 1).
+	MaxWidth spectrum.Width
+}
+
+// Config holds the planner's tunables.
+type Config struct {
+	// SwitchPenalty is the base penalty_c subtracted from channel_metric
+	// when a candidate differs from the AP's current channel.
+	SwitchPenalty float64
+	// SwitchPenalty24 replaces it on 2.4 GHz, where many clients lack CSA
+	// support (§4.4.1 sets this "very high").
+	SwitchPenalty24 float64
+	// HighUtilPenaltyBoost scales the penalty when utilization exceeds
+	// 90% (§4.5.1: small variations halve NetP there, so demand a larger
+	// margin before switching).
+	HighUtilPenaltyBoost float64
+	// Runs is the number of NBO rounds per hop limit per invocation;
+	// scaled by network size when zero.
+	Runs int
+	// MetricFloor keeps log(NodeP) finite when a channel is hopeless.
+	MetricFloor float64
+	// UniformPick disables the load-weighted AP pick on Algorithm 1's
+	// line 8 (an ablation: §4.4.3 argues heavily loaded APs should plan
+	// first and claim the cleaner channels).
+	UniformPick bool
+}
+
+// DefaultConfig returns production-like tunables.
+func DefaultConfig() Config {
+	return Config{
+		SwitchPenalty:        0.08,
+		SwitchPenalty24:      0.60,
+		HighUtilPenaltyBoost: 3.0,
+		MetricFloor:          1e-9,
+	}
+}
+
+// Assignment is one AP's planned channel, with a non-DFS fallback
+// maintained whenever the primary sits on a DFS channel (§4.5.2).
+type Assignment struct {
+	Channel  spectrum.Channel
+	Fallback *spectrum.Channel
+}
+
+// Plan maps AP ID to assignment.
+type Plan map[int]Assignment
+
+// Clone deep-copies a plan.
+func (p Plan) Clone() Plan {
+	out := make(Plan, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// widthFrac is capacity scaling per width slot (20/40/80/160), normalized
+// to 160 MHz.
+var widthFrac = [4]float64{0.125, 0.25, 0.5, 1.0}
+
+// planner carries the immutable problem plus dense indexes used by every
+// evaluation.
+type planner struct {
+	cfg Config
+	in  Input
+
+	tbl     *chanTable
+	views   []*APView
+	idxOf   map[int]int // AP ID -> dense index
+	neigh   [][]int     // dense neighbor indices
+	current []chanIdx
+
+	cands     []chanIdx // candidate channels, interned
+	candNoDFS []chanIdx
+
+	// Precomputed per view:
+	loadShare [][4]float64 // usage share of clients by max-width slot
+	extOf     [][]float64  // worst external util per interned channel
+	weight    []float64    // contention weight this AP exerts on neighbors
+	penBase   []float64    // switch penalty before channel comparison
+
+	// Scratch state for one NBO pass.
+	assign []chanIdx // noChan = unassigned in the working plan
+	ignore []bool
+}
+
+func newPlanner(cfg Config, in Input) *planner {
+	if cfg.MetricFloor == 0 {
+		cfg.MetricFloor = 1e-9
+	}
+	maxW := in.MaxWidth
+	if maxW == 0 {
+		maxW = spectrum.W160
+	}
+	n := len(in.APs)
+	p := &planner{
+		cfg: cfg, in: in,
+		tbl:       newChanTable(),
+		views:     make([]*APView, n),
+		idxOf:     make(map[int]int, n),
+		neigh:     make([][]int, n),
+		current:   make([]chanIdx, n),
+		loadShare: make([][4]float64, n),
+		weight:    make([]float64, n),
+		penBase:   make([]float64, n),
+		assign:    make([]chanIdx, n),
+		ignore:    make([]bool, n),
+	}
+	for i := range in.APs {
+		v := &in.APs[i]
+		p.views[i] = v
+		p.idxOf[v.ID] = i
+	}
+	for _, c := range spectrum.AllChannels(in.Band, maxW, in.AllowDFS) {
+		idx := p.tbl.intern(c)
+		p.cands = append(p.cands, idx)
+		if !c.DFS {
+			p.candNoDFS = append(p.candNoDFS, idx)
+		}
+	}
+	for i, v := range p.views {
+		p.current[i] = p.tbl.intern(v.Current)
+		p.assign[i] = noChan
+		for _, nid := range v.Neighbors {
+			if j, ok := p.idxOf[nid]; ok {
+				p.neigh[i] = append(p.neigh[i], j)
+			}
+		}
+		total := 0.0
+		for _, s := range v.WidthLoad {
+			total += s
+		}
+		if total > 0 {
+			for w, s := range v.WidthLoad {
+				p.loadShare[i][widthSlot(w)] += s / total
+			}
+		} else {
+			p.loadShare[i][0] = 1
+		}
+		p.weight[i] = 0.2 + v.Load
+		p.penBase[i] = p.penaltyBase(v)
+	}
+	p.tbl.finalize()
+	p.extOf = make([][]float64, n)
+	for i, v := range p.views {
+		p.extOf[i] = make([]float64, len(p.tbl.chans))
+		for ci, subs := range p.tbl.sub20s {
+			worst := 0.0
+			for _, s := range subs {
+				if u := v.ExternalUtil[s]; u > worst {
+					worst = u
+				}
+			}
+			p.extOf[i][ci] = worst
+		}
+	}
+	return p
+}
+
+// penaltyBase computes the per-AP part of penalty_c (§4.4.1, §4.5.1).
+func (p *planner) penaltyBase(v *APView) float64 {
+	if !v.HasClients {
+		return 0 // nothing to disrupt
+	}
+	base := p.cfg.SwitchPenalty
+	if p.in.Band == spectrum.Band2G4 {
+		base = p.cfg.SwitchPenalty24
+	}
+	// Clients without CSA support must rescan: scale with their share.
+	base *= 0.4 + 0.6*(1-v.CSAFraction)
+	// §4.5.1: at very high utilization NetP is so volatile that switches
+	// must clear a much higher bar.
+	if v.Utilization > 0.9 {
+		base *= p.cfg.HighUtilPenaltyBoost
+	}
+	return base
+}
+
+// channelOf resolves a dense AP index's channel under the working state.
+func (p *planner) channelOf(j int) chanIdx {
+	if p.ignore[j] {
+		return noChan
+	}
+	if p.assign[j] != noChan {
+		return p.assign[j]
+	}
+	return p.current[j]
+}
+
+// airtime estimates the share of airtime view i can expect on sub-channel
+// sub: the idle share after external interference, divided among i and the
+// co-channel neighbors weighted by their load (§4.4.1).
+func (p *planner) airtime(i int, sub chanIdx) float64 {
+	contention := 0.0
+	overlapRow := p.tbl.overlap[sub]
+	for _, j := range p.neigh[i] {
+		nc := p.channelOf(j)
+		if nc != noChan && overlapRow[nc] {
+			contention += p.weight[j]
+		}
+	}
+	idle := 1 - p.extOf[i][sub]
+	if idle < 0 {
+		idle = 0
+	}
+	return idle / (1 + contention)
+}
+
+// loadAtWidth returns load(b): the usage-weighted share of clients whose
+// effective width slot is bSlot given assignment width slot cwSlot, scaled
+// by the AP's overall load so busy APs deviate more from NodeP = 1.
+func (p *planner) loadAtWidth(i, bSlot, cwSlot int) float64 {
+	share := 0.0
+	for s := 0; s < 4; s++ {
+		eff := s
+		if eff > cwSlot {
+			eff = cwSlot // wider clients collapse onto the assigned width
+		}
+		if eff == bSlot {
+			share += p.loadShare[i][s]
+		}
+	}
+	return share * p.views[i].Load
+}
+
+// logNodeP computes ln NodeP(i, c) under the working state:
+//
+//	NodeP(c, cw) = Π_{b=20MHz}^{cw} channel_metric(c,b)^{load(b)}
+//	channel_metric(c,b) = airtime(c,b)·capacity(c,b) − penalty_c
+func (p *planner) logNodeP(i int, c chanIdx) float64 {
+	pen := 0.0
+	if c != p.current[i] {
+		pen = p.penBase[i]
+	}
+	cwSlot := widthSlot(p.tbl.chans[c].Width)
+	sum := 0.0
+	for b := 0; b <= cwSlot; b++ {
+		load := p.loadAtWidth(i, b, cwSlot)
+		if load == 0 {
+			continue
+		}
+		sub := p.tbl.subAt[c][b]
+		// capacity: width scaling times channel quality after non-WiFi
+		// interference (§4.4.1).
+		capacity := widthFrac[b] * (1 - 0.5*p.extOf[i][sub])
+		metric := p.airtime(i, sub)*capacity - pen
+		if metric < p.cfg.MetricFloor {
+			metric = p.cfg.MetricFloor
+		}
+		sum += load * math.Log(metric)
+	}
+	return sum
+}
+
+// logNetP sums ln NodeP over every AP under the working state (NetP is
+// the product of NodeP, §4.4.1).
+func (p *planner) logNetP() float64 {
+	sum := 0.0
+	for i := range p.views {
+		c := p.channelOf(i)
+		if c == noChan {
+			continue
+		}
+		sum += p.logNodeP(i, c)
+	}
+	return sum
+}
+
+// loadAssign installs a Plan map into the scratch assignment state.
+func (p *planner) loadAssign(plan Plan) {
+	for i := range p.assign {
+		p.assign[i] = noChan
+		p.ignore[i] = false
+	}
+	for id, a := range plan {
+		if i, ok := p.idxOf[id]; ok {
+			p.assign[i] = p.tbl.intern(a.Channel)
+		}
+	}
+	// Interning may have grown the table; refresh derived state.
+	p.refreshTables()
+}
+
+// refreshTables recomputes overlap/ext tables after late interning.
+func (p *planner) refreshTables() {
+	if len(p.tbl.overlap) == len(p.tbl.chans) {
+		return
+	}
+	p.tbl.finalize()
+	for i, v := range p.views {
+		ext := p.extOf[i]
+		for ci := len(ext); ci < len(p.tbl.chans); ci++ {
+			worst := 0.0
+			for _, s := range p.tbl.sub20s[ci] {
+				if u := v.ExternalUtil[s]; u > worst {
+					worst = u
+				}
+			}
+			ext = append(ext, worst)
+		}
+		p.extOf[i] = ext
+	}
+}
+
+// NetP evaluates ln NetP of a plan against the input (exported for tests,
+// benchmarks, and the service's accept/reject decision).
+func NetP(cfg Config, in Input, plan Plan) float64 {
+	p := newPlanner(cfg, in)
+	p.loadAssign(plan)
+	return p.logNetP()
+}

@@ -1,0 +1,265 @@
+package turboca
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/spectrum"
+)
+
+// acc — AP Channel Calculation (§4.4.2) — picks the channel for dense AP
+// index i that maximizes NetP, considering only i and its neighbors (the
+// only NodeP values a single-AP change can affect). APs currently marked
+// in p.ignore (the paper's ψ) are treated as if they had no channel, which
+// lets NBO escape locally optimal plans by presuming upcoming changes.
+func (p *planner) acc(i int) chanIdx {
+	cands := p.cands
+	if p.views[i].HasClients {
+		// §4.5.2: never move an AP with connected clients onto a DFS
+		// channel — they would sit through a 60 s CAC.
+		cands = p.candNoDFS
+	}
+	maxW := p.views[i].MaxWidth
+	bestScore := math.Inf(-1)
+	best := noChan
+	for _, c := range cands {
+		if p.tbl.chans[c].Width > maxW {
+			continue
+		}
+		score := p.deltaScore(i, c)
+		if score > bestScore {
+			bestScore = score
+			best = c
+		}
+	}
+	if best == noChan {
+		best = p.current[i] // nothing admissible; stay put
+	}
+	return best
+}
+
+// deltaScore is the NetP contribution affected by assigning c to i: its
+// own NodeP plus the NodeP of every neighbor (whose airtime depends on
+// i's channel).
+func (p *planner) deltaScore(i int, c chanIdx) float64 {
+	prev := p.assign[i]
+	p.assign[i] = c
+	score := p.logNodeP(i, c)
+	for _, j := range p.neigh[i] {
+		if p.ignore[j] {
+			continue
+		}
+		nc := p.channelOf(j)
+		if nc == noChan {
+			continue
+		}
+		score += p.logNodeP(j, nc)
+	}
+	p.assign[i] = prev
+	return score
+}
+
+// bestNonDFSFallback picks the best DFS-free channel for i, used when a
+// radar event forces an immediate move (§4.5.2).
+func (p *planner) bestNonDFSFallback(i int) spectrum.Channel {
+	maxW := p.views[i].MaxWidth
+	bestScore := math.Inf(-1)
+	best := noChan
+	for _, c := range p.candNoDFS {
+		if p.tbl.chans[c].Width > maxW {
+			continue
+		}
+		if s := p.deltaScore(i, c); s > bestScore {
+			bestScore = s
+			best = c
+		}
+	}
+	if best == noChan {
+		return spectrum.Channel{}
+	}
+	return p.tbl.channel(best)
+}
+
+// nbo — Network Basic Operation (Algorithm 1, §4.4.3) — produces a full
+// proposed assignment. hopLimit is the paper's i: the radius of the
+// candidate set of nodes whose current assignments are ignored while the
+// group is (re)planned. Picks on line 8 are weighted by AP load so heavily
+// loaded APs plan first and get the cleaner channels.
+func (p *planner) nbo(rng *rand.Rand, hopLimit int) {
+	n := len(p.views)
+	for i := 0; i < n; i++ {
+		p.assign[i] = noChan
+		p.ignore[i] = false
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	for len(remaining) > 0 {
+		// Line 4: random unassigned AP.
+		pick := rng.Intn(len(remaining))
+		seed := remaining[pick]
+
+		// Line 5: group = seed + APs within hopLimit hops, unassigned.
+		group := p.hopGroup(seed, hopLimit, remaining)
+		inGroup := map[int]bool{}
+		for _, g := range group {
+			inGroup[g] = true
+			p.ignore[g] = true // ψ: presume these will change
+		}
+		// Line 6: S <- S - Sgroup.
+		kept := remaining[:0]
+		for _, r := range remaining {
+			if !inGroup[r] {
+				kept = append(kept, r)
+			}
+		}
+		remaining = kept
+
+		// Lines 7-11: drain the group, load-weighted; each planned AP
+		// leaves ψ so later picks see its new channel.
+		for len(group) > 0 {
+			gi := p.pickLoadWeighted(rng, group)
+			m := group[gi]
+			group = append(group[:gi], group[gi+1:]...)
+			p.ignore[m] = false
+			p.assign[m] = p.acc(m)
+		}
+	}
+}
+
+// hopGroup returns seed plus every AP within hops hops, restricted to the
+// eligible (still remaining) set.
+func (p *planner) hopGroup(seed int, hops int, eligible []int) []int {
+	elig := map[int]bool{}
+	for _, e := range eligible {
+		elig[e] = true
+	}
+	group := []int{seed}
+	seen := map[int]bool{seed: true}
+	frontier := []int{seed}
+	for h := 0; h < hops; h++ {
+		var next []int
+		for _, i := range frontier {
+			for _, j := range p.neigh[i] {
+				if elig[j] && !seen[j] {
+					seen[j] = true
+					group = append(group, j)
+					next = append(next, j)
+				}
+			}
+		}
+		frontier = next
+	}
+	return group
+}
+
+// pickLoadWeighted draws an index into group with probability proportional
+// to AP load (§4.4.3: "the probability of picking any AP is weighted
+// proportionally to the load").
+func (p *planner) pickLoadWeighted(rng *rand.Rand, group []int) int {
+	if p.cfg.UniformPick {
+		return rng.Intn(len(group))
+	}
+	total := 0.0
+	for _, i := range group {
+		total += p.views[i].Load + 0.01
+	}
+	x := rng.Float64() * total
+	for gi, i := range group {
+		x -= p.views[i].Load + 0.01
+		if x <= 0 {
+			return gi
+		}
+	}
+	return len(group) - 1
+}
+
+// snapshotPlan converts the scratch assignment into an exported Plan,
+// computing DFS fallbacks.
+func (p *planner) snapshotPlan() Plan {
+	plan := Plan{}
+	for i, v := range p.views {
+		c := p.assign[i]
+		if c == noChan {
+			continue
+		}
+		a := Assignment{Channel: p.tbl.channel(c)}
+		if a.Channel.DFS {
+			fb := p.bestNonDFSFallback(i)
+			a.Fallback = &fb
+		}
+		plan[v.ID] = a
+	}
+	return plan
+}
+
+// Result reports one planning invocation.
+type Result struct {
+	Plan Plan
+	// LogNetP of the accepted plan.
+	LogNetP float64
+	// Improved is false when the incumbent plan was kept.
+	Improved bool
+	// Switches counts APs whose channel changed from Current.
+	Switches int
+	// Rounds is how many NBO rounds ran.
+	Rounds int
+}
+
+// RunNBO executes the paper's accept-if-better loop: several NBO rounds at
+// each hop limit in hops (e.g. [2,1,0] for the daily schedule), always
+// ending with i=0, keeping the best plan seen. The incumbent (current
+// channels, no changes) is the implicit baseline, so NetP never regresses.
+func RunNBO(cfg Config, in Input, rng *rand.Rand, hops []int) Result {
+	p := newPlanner(cfg, in)
+	runs := cfg.Runs
+	if runs <= 0 {
+		runs = 2 + len(in.APs)/100 // "proportional to the network size"
+	}
+
+	// Baseline: current channels as-is.
+	for i := range p.assign {
+		p.assign[i] = noChan
+	}
+	bestScore := p.logNetP()
+	var bestAssign []chanIdx
+	improved := false
+	rounds := 0
+
+	for _, h := range hops {
+		for r := 0; r < runs; r++ {
+			rounds++
+			p.nbo(rng, h)
+			score := p.logNetP()
+			if score > bestScore {
+				bestScore = score
+				bestAssign = append(bestAssign[:0], p.assign...)
+				improved = true
+			}
+		}
+		// Subsequent hop levels refine from the best plan so far: adopt
+		// it as the working current assignment.
+		if bestAssign != nil {
+			copy(p.assign, bestAssign)
+		}
+	}
+
+	res := Result{LogNetP: bestScore, Improved: improved, Rounds: rounds}
+	if bestAssign != nil {
+		copy(p.assign, bestAssign)
+	} else {
+		for i := range p.assign {
+			p.assign[i] = noChan
+		}
+	}
+	res.Plan = p.snapshotPlan()
+	for id, a := range res.Plan {
+		cur := p.views[p.idxOf[id]].Current
+		if cur.Number != a.Channel.Number || cur.Width != a.Channel.Width {
+			res.Switches++
+		}
+	}
+	return res
+}

@@ -1,0 +1,57 @@
+package turboca
+
+import (
+	"math"
+
+	"repro/internal/spectrum"
+)
+
+// RunReservedCA implements the prior-generation channel assignment the
+// paper compares against (§4.6.1): iterate the APs in a fixed sequence
+// and, for each, pick the channel that maximizes that AP's *isolated*
+// performance given everyone else's current channels — no network-wide
+// objective, no look-ahead, fixed channel width, re-evaluated every 5
+// hours by its service.
+func RunReservedCA(cfg Config, in Input, fixedWidth spectrum.Width) Result {
+	p := newPlanner(cfg, in)
+	if fixedWidth == 0 {
+		fixedWidth = spectrum.W20
+	}
+
+	for i := range p.views {
+		cands := p.cands
+		if p.views[i].HasClients {
+			cands = p.candNoDFS
+		}
+		bestScore := math.Inf(-1)
+		best := noChan
+		for _, c := range cands {
+			if p.tbl.chans[c].Width != fixedWidth {
+				continue
+			}
+			// Isolated objective: only this AP's NodeP, evaluated against
+			// the working plan (earlier APs in the sequence keep their
+			// new channels; later ones their current).
+			p.assign[i] = c
+			score := p.logNodeP(i, c)
+			p.assign[i] = noChan
+			if score > bestScore {
+				bestScore = score
+				best = c
+			}
+		}
+		if best == noChan {
+			best = p.current[i] // no candidate at the fixed width
+		}
+		p.assign[i] = best
+	}
+
+	res := Result{Plan: p.snapshotPlan(), LogNetP: p.logNetP(), Improved: true}
+	for id, a := range res.Plan {
+		cur := p.views[p.idxOf[id]].Current
+		if cur.Number != a.Channel.Number || cur.Width != a.Channel.Width {
+			res.Switches++
+		}
+	}
+	return res
+}

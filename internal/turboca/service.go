@@ -1,0 +1,107 @@
+package turboca
+
+import (
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// EnvironmentFn supplies the current planning input for a band; the
+// backend implements it by snapshotting the latest AP reports.
+type EnvironmentFn func(band spectrum.Band) Input
+
+// ApplyFn delivers an accepted plan to the network (the backend pushes the
+// configuration to the APs).
+type ApplyFn func(band spectrum.Band, plan Plan, res Result)
+
+// Service is TurboCA's run-time schedule (§4.4.4): NBO with i=0 every 15
+// minutes, i=1 then i=0 every 3 hours, and i=2,1,0 once a day. Every
+// schedule ends with i=0, which guarantees NetP does not regress; the
+// deeper hop limits escape local optima at most once per their period.
+type Service struct {
+	Cfg   Config
+	Env   EnvironmentFn
+	Apply ApplyFn
+	Bands []spectrum.Band
+
+	// Periods are configurable for accelerated simulation.
+	Fast  sim.Time // i=0 cadence (default 15 min)
+	Mid   sim.Time // i=1,0 cadence (default 3 h)
+	Deep  sim.Time // i=2,1,0 cadence (default 24 h)
+	rng   *rand.Rand
+	stops []func()
+
+	// Counters for evaluation.
+	RunsTotal     int
+	SwitchesTotal int
+	ImprovedTotal int
+	LastLogNetP   map[spectrum.Band]float64
+}
+
+// NewService builds a service with the paper's default cadences.
+func NewService(cfg Config, env EnvironmentFn, apply ApplyFn, seed int64) *Service {
+	return &Service{
+		Cfg: cfg, Env: env, Apply: apply,
+		Bands:       []spectrum.Band{spectrum.Band5, spectrum.Band2G4},
+		Fast:        15 * sim.Minute,
+		Mid:         3 * sim.Hour,
+		Deep:        24 * sim.Hour,
+		rng:         rand.New(rand.NewSource(seed)),
+		LastLogNetP: map[spectrum.Band]float64{},
+	}
+}
+
+// Start registers the three cadences on the engine. Mid and Deep ticks
+// subsume the shallower passes (they end with i=0), mirroring the paper's
+// schedule composition.
+func (s *Service) Start(engine *sim.Engine) {
+	s.stops = append(s.stops,
+		engine.Ticker(s.Fast, func(e *sim.Engine) { s.RunOnce([]int{0}) }),
+		engine.Ticker(s.Mid, func(e *sim.Engine) { s.RunOnce([]int{1, 0}) }),
+		engine.Ticker(s.Deep, func(e *sim.Engine) { s.RunOnce([]int{2, 1, 0}) }),
+	)
+}
+
+// Stop cancels the schedule.
+func (s *Service) Stop() {
+	for _, stop := range s.stops {
+		stop()
+	}
+	s.stops = nil
+}
+
+// RunOnce executes one scheduled invocation across all managed bands.
+func (s *Service) RunOnce(hops []int) {
+	for _, band := range s.Bands {
+		in := s.Env(band)
+		if len(in.APs) == 0 {
+			continue
+		}
+		res := RunNBO(s.Cfg, in, s.rng, hops)
+		s.RunsTotal++
+		s.LastLogNetP[band] = res.LogNetP
+		if res.Improved {
+			s.ImprovedTotal++
+			s.SwitchesTotal += res.Switches
+			if s.Apply != nil {
+				s.Apply(band, res.Plan, res)
+			}
+		}
+	}
+}
+
+// RadarEvent handles a DFS radar detection on an AP (§4.5.2): the AP must
+// vacate immediately to its pre-computed fallback channel. It returns the
+// channel the AP should move to and whether a fallback existed.
+func RadarEvent(plan Plan, apID int) (spectrum.Channel, bool) {
+	a, ok := plan[apID]
+	if !ok || !a.Channel.DFS {
+		return spectrum.Channel{}, false
+	}
+	if a.Fallback == nil {
+		return spectrum.Channel{}, false
+	}
+	plan[apID] = Assignment{Channel: *a.Fallback}
+	return *a.Fallback, true
+}
