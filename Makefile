@@ -1,0 +1,26 @@
+# Tier-1 verification for builders and CI. `make verify` is the gate every
+# change must pass: vet, build, the full test suite, and the turboca
+# concurrency tests under the race detector (the parallel NBO engine's
+# determinism contract is only meaningful if it is also data-race free).
+
+GO ?= go
+
+.PHONY: verify vet build test race bench
+
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/turboca/...
+
+# Planner scaling numbers (BenchmarkRunNBO sweeps Workers on ~600 APs).
+bench:
+	$(GO) test -run=NONE -bench=RunNBO -benchmem ./internal/turboca/...

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -91,11 +92,18 @@ func BenchmarkPerfNBOCampus(b *testing.B) {
 	be := backend.New(backend.DefaultOptions(backend.AlgTurboCA), sc, engine)
 	engine.RunUntil(13 * sim.Hour)
 	in := be.PlannerInput(spectrum.Band5)
-	cfg := turboca.DefaultConfig()
 	rng := rand.New(rand.NewSource(4))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		turboca.RunNBO(cfg, in, rng, []int{0})
+	// The ~600-AP campus at several worker counts; every count produces
+	// the identical plan, so the deltas are pure parallel speedup.
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := turboca.DefaultConfig()
+			cfg.Workers = w
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				turboca.RunNBO(cfg, in, rng, []int{0})
+			}
+		})
 	}
 }
 

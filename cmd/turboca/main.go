@@ -19,6 +19,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
+	"repro/internal/turboca"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	mode := flag.String("mode", "plan", "plan (one-shot) or eval (A/B vs ReservedCA)")
 	days := flag.Int("days", 3, "simulated days per algorithm in eval mode")
 	seed := flag.Int64("seed", 42, "generation seed")
+	workers := flag.Int("workers", 0, "concurrent NBO rounds per hop level (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
 	build, ok := scenarios[*scenario]
@@ -36,9 +38,9 @@ func main() {
 
 	switch *mode {
 	case "plan":
-		planOnce(build, *seed)
+		planOnce(build, *seed, *workers)
 	case "eval":
-		evalAB(build, *days, *seed)
+		evalAB(build, *days, *seed, *workers)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown mode:", *mode)
 		os.Exit(2)
@@ -54,13 +56,15 @@ var scenarios = map[string]func(int64) *topo.Scenario{
 	"hotel":  topo.Hotel,
 }
 
-func planOnce(build func(int64) *topo.Scenario, seed int64) {
+func planOnce(build func(int64) *topo.Scenario, seed int64, workers int) {
 	sc := build(seed)
 	dp := core.WrapDeployment(sc, backend.AlgNone, seed)
 	fmt.Printf("%v\n", sc)
 	fmt.Printf("before: %v\n", dp.CurrentPlan())
 
-	res := core.PlanOnce(sc, seed)
+	cfg := turboca.DefaultConfig()
+	cfg.Workers = workers
+	res := core.PlanOnceWith(sc, cfg, seed)
 	fmt.Printf("after:  %v\n", dp.CurrentPlan())
 	fmt.Println(sc.RenderPlan(72, 18))
 	fmt.Printf("rounds=%d switches=%d logNetP=%.1f improved=%v\n",
@@ -94,7 +98,7 @@ func bar(n int) string {
 	return string(b)
 }
 
-func evalAB(build func(int64) *topo.Scenario, days int, seed int64) {
+func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int) {
 	d := sim.Time(days) * sim.Day
 	type result struct {
 		alg      string
@@ -105,7 +109,9 @@ func evalAB(build func(int64) *topo.Scenario, days int, seed int64) {
 	}
 	var results []result
 	for _, alg := range []backend.Algorithm{backend.AlgReservedCA, backend.AlgTurboCA} {
-		dp := core.WrapDeployment(build(seed), alg, seed)
+		opt := backend.DefaultOptions(alg)
+		opt.Planner.Workers = workers
+		dp := core.WrapDeploymentOptions(build(seed), opt, seed)
 		dp.Run(d)
 		// Skip the first day for stabilization, as §4.6.1 skips the first
 		// week.

@@ -168,10 +168,16 @@ func NewFleetStudy(networks int, seed int64) *Fleet {
 // applies the result — the one-shot planning entry point for tools that
 // do not need the full backend loop.
 func PlanOnce(sc *topo.Scenario, seed int64) turboca.Result {
+	return PlanOnceWith(sc, turboca.DefaultConfig(), seed)
+}
+
+// PlanOnceWith is PlanOnce with explicit planner tunables (e.g. a Workers
+// override for parallel planning).
+func PlanOnceWith(sc *topo.Scenario, cfg turboca.Config, seed int64) turboca.Result {
 	engine := sim.NewEngine(seed)
 	be := backend.New(backend.DefaultOptions(backend.AlgTurboCA), sc, engine)
 	in := be.PlannerInput(spectrum.Band5)
-	res := turboca.RunNBO(turboca.DefaultConfig(), in, sc.Rand(), []int{2, 1, 0})
+	res := turboca.RunNBO(cfg, in, sc.Rand(), []int{2, 1, 0})
 	for _, ap := range sc.APs {
 		if a, ok := res.Plan[ap.ID]; ok {
 			ap.Channel = a.Channel
@@ -183,7 +189,13 @@ func PlanOnce(sc *topo.Scenario, seed int64) turboca.Result {
 // WrapDeployment attaches a backend running alg to an existing scenario
 // (for callers that built their own topo.Scenario, e.g. School or Hotel).
 func WrapDeployment(sc *topo.Scenario, alg backend.Algorithm, seed int64) *Deployment {
+	return WrapDeploymentOptions(sc, backend.DefaultOptions(alg), seed)
+}
+
+// WrapDeploymentOptions is WrapDeployment with explicit backend options
+// (planner tunables, poll cadence, radar injection, ...).
+func WrapDeploymentOptions(sc *topo.Scenario, opt backend.Options, seed int64) *Deployment {
 	engine := sim.NewEngine(seed)
-	be := backend.New(backend.DefaultOptions(alg), sc, engine)
+	be := backend.New(opt, sc, engine)
 	return &Deployment{Scenario: sc, Backend: be, Engine: engine}
 }

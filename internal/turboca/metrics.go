@@ -77,6 +77,11 @@ type Config struct {
 	// line 8 (an ablation: §4.4.3 argues heavily loaded APs should plan
 	// first and claim the cleaner channels).
 	UniformPick bool
+	// Workers is the number of NBO rounds evaluated concurrently within
+	// one hop level. Zero means GOMAXPROCS. Results are byte-identical
+	// for any worker count: every round draws from its own RNG stream
+	// derived from (seed, hop level, round index).
+	Workers int
 }
 
 // DefaultConfig returns production-like tunables.
@@ -118,10 +123,17 @@ type planner struct {
 	cfg Config
 	in  Input
 
-	tbl     *chanTable
-	views   []*APView
-	idxOf   map[int]int // AP ID -> dense index
-	neigh   [][]int     // dense neighbor indices
+	tbl   *chanTable
+	views []*APView
+	idxOf map[int]int // AP ID -> dense index
+	neigh [][]int     // dense neighbor indices
+	// onAir is the AP's real current channel (noChan when the AP has no
+	// assignment yet): the switch-penalty anchor and the baseline for
+	// switch counting. Never mutated.
+	onAir []chanIdx
+	// current is the working incumbent: it starts equal to onAir and
+	// adopts the best plan found so far between hop levels, so deeper
+	// NBO passes refine the shallower levels' winner (§4.4.3-4.4.4).
 	current []chanIdx
 
 	cands     []chanIdx // candidate channels, interned
@@ -136,6 +148,14 @@ type planner struct {
 	// Scratch state for one NBO pass.
 	assign []chanIdx // noChan = unassigned in the working plan
 	ignore []bool
+
+	// Allocation-free scratch for hopGroup's BFS: membership is "stamp ==
+	// gen", so clearing between picks is a single counter increment.
+	groupBuf []int
+	eligGen  []int
+	seenGen  []int
+	gen      int
+	remBuf   []int
 }
 
 func newPlanner(cfg Config, in Input) *planner {
@@ -153,12 +173,16 @@ func newPlanner(cfg Config, in Input) *planner {
 		views:     make([]*APView, n),
 		idxOf:     make(map[int]int, n),
 		neigh:     make([][]int, n),
+		onAir:     make([]chanIdx, n),
 		current:   make([]chanIdx, n),
 		loadShare: make([][4]float64, n),
 		weight:    make([]float64, n),
 		penBase:   make([]float64, n),
 		assign:    make([]chanIdx, n),
 		ignore:    make([]bool, n),
+		eligGen:   make([]int, n),
+		seenGen:   make([]int, n),
+		remBuf:    make([]int, 0, n),
 	}
 	for i := range in.APs {
 		v := &in.APs[i]
@@ -173,7 +197,15 @@ func newPlanner(cfg Config, in Input) *planner {
 		}
 	}
 	for i, v := range p.views {
-		p.current[i] = p.tbl.intern(v.Current)
+		// An AP that has never been assigned reports a zero-value (or
+		// otherwise malformed) Current; interning it would inject a bogus
+		// channel into the table and every overlap row. Map it to noChan.
+		if v.Current.Width.Valid() {
+			p.onAir[i] = p.tbl.intern(v.Current)
+		} else {
+			p.onAir[i] = noChan
+		}
+		p.current[i] = p.onAir[i]
 		p.assign[i] = noChan
 		for _, nid := range v.Neighbors {
 			if j, ok := p.idxOf[nid]; ok {
@@ -230,6 +262,27 @@ func (p *planner) penaltyBase(v *APView) float64 {
 	return base
 }
 
+// cloneScratch returns a planner that shares every immutable table with p
+// (tbl, views, neigh, extOf, loadShare, weight, penBase, onAir, current)
+// but owns its own assign/ignore scratch state, so concurrent NBO rounds
+// can run on clones without synchronization. The shared current slice is
+// only mutated between hop levels, when no clone is running.
+func (p *planner) cloneScratch() *planner {
+	cp := *p
+	n := len(p.assign)
+	cp.assign = make([]chanIdx, n)
+	cp.ignore = make([]bool, n)
+	cp.groupBuf = nil
+	cp.eligGen = make([]int, n)
+	cp.seenGen = make([]int, n)
+	cp.gen = 0
+	cp.remBuf = make([]int, 0, n)
+	for i := range cp.assign {
+		cp.assign[i] = noChan
+	}
+	return &cp
+}
+
 // channelOf resolves a dense AP index's channel under the working state.
 func (p *planner) channelOf(j int) chanIdx {
 	if p.ignore[j] {
@@ -283,7 +336,11 @@ func (p *planner) loadAtWidth(i, bSlot, cwSlot int) float64 {
 //	channel_metric(c,b) = airtime(c,b)·capacity(c,b) − penalty_c
 func (p *planner) logNodeP(i int, c chanIdx) float64 {
 	pen := 0.0
-	if c != p.current[i] {
+	// The penalty anchors to the channel clients are actually on (onAir),
+	// not the working incumbent: adopting a best-so-far plan between hop
+	// levels must not erase the cost of moving away from the real current
+	// channel, and a first assignment disrupts nobody.
+	if p.onAir[i] != noChan && c != p.onAir[i] {
 		pen = p.penBase[i]
 	}
 	cwSlot := widthSlot(p.tbl.chans[c].Width)

@@ -3,6 +3,8 @@ package turboca
 import (
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/spectrum"
 )
@@ -91,9 +93,9 @@ func (p *planner) nbo(rng *rand.Rand, hopLimit int) {
 		p.assign[i] = noChan
 		p.ignore[i] = false
 	}
-	remaining := make([]int, n)
-	for i := range remaining {
-		remaining[i] = i
+	remaining := p.remBuf[:0]
+	for i := 0; i < n; i++ {
+		remaining = append(remaining, i)
 	}
 
 	for len(remaining) > 0 {
@@ -103,15 +105,14 @@ func (p *planner) nbo(rng *rand.Rand, hopLimit int) {
 
 		// Line 5: group = seed + APs within hopLimit hops, unassigned.
 		group := p.hopGroup(seed, hopLimit, remaining)
-		inGroup := map[int]bool{}
 		for _, g := range group {
-			inGroup[g] = true
 			p.ignore[g] = true // ψ: presume these will change
 		}
-		// Line 6: S <- S - Sgroup.
+		// Line 6: S <- S - Sgroup. Group members are exactly the remaining
+		// APs currently marked in ψ.
 		kept := remaining[:0]
 		for _, r := range remaining {
-			if !inGroup[r] {
+			if !p.ignore[r] {
 				kept = append(kept, r)
 			}
 		}
@@ -130,28 +131,33 @@ func (p *planner) nbo(rng *rand.Rand, hopLimit int) {
 }
 
 // hopGroup returns seed plus every AP within hops hops, restricted to the
-// eligible (still remaining) set.
+// eligible (still remaining) set. The returned slice aliases a scratch
+// buffer that is reused by the next call — callers consume it before
+// picking again (which nbo does).
 func (p *planner) hopGroup(seed int, hops int, eligible []int) []int {
-	elig := map[int]bool{}
-	for _, e := range eligible {
-		elig[e] = true
-	}
-	group := []int{seed}
-	seen := map[int]bool{seed: true}
-	frontier := []int{seed}
-	for h := 0; h < hops; h++ {
-		var next []int
-		for _, i := range frontier {
-			for _, j := range p.neigh[i] {
-				if elig[j] && !seen[j] {
-					seen[j] = true
-					group = append(group, j)
-					next = append(next, j)
+	group := append(p.groupBuf[:0], seed)
+	if hops > 0 {
+		p.gen++
+		for _, e := range eligible {
+			p.eligGen[e] = p.gen
+		}
+		p.seenGen[seed] = p.gen
+		// BFS frontier [lo:hi) runs over group itself: newly appended
+		// members form the next frontier.
+		lo, hi := 0, len(group)
+		for h := 0; h < hops && lo < hi; h++ {
+			for _, i := range group[lo:hi] {
+				for _, j := range p.neigh[i] {
+					if p.eligGen[j] == p.gen && p.seenGen[j] != p.gen {
+						p.seenGen[j] = p.gen
+						group = append(group, j)
+					}
 				}
 			}
+			lo, hi = hi, len(group)
 		}
-		frontier = next
 	}
+	p.groupBuf = group
 	return group
 }
 
@@ -208,16 +214,52 @@ type Result struct {
 	Rounds int
 }
 
+// roundSeed derives the RNG seed for one NBO round from the invocation's
+// base seed and the round's (hop level index, round index) coordinates,
+// using a splitmix64-style mix. Because every round owns its stream, the
+// sequence of plans a seed produces is independent of how rounds are
+// scheduled across workers.
+func roundSeed(base int64, level, round int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(uint32(level)+1) + 0xbf58476d1ce4e5b9*uint64(uint32(round)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // RunNBO executes the paper's accept-if-better loop: several NBO rounds at
 // each hop limit in hops (e.g. [2,1,0] for the daily schedule), always
 // ending with i=0, keeping the best plan seen. The incumbent (current
 // channels, no changes) is the implicit baseline, so NetP never regresses.
+// Between hop levels the best plan so far is adopted as the working
+// incumbent, so deeper (later) levels refine the earlier levels' winner
+// rather than replanning from the on-air channels.
+//
+// Rounds within one hop level are independent and run concurrently on
+// cfg.Workers goroutines (GOMAXPROCS when zero). rng is consumed exactly
+// once, to draw a base seed; each round then uses its own stream derived
+// from (base, level, round), and the accept-if-better reduction scans
+// rounds in index order — so a given seed yields byte-identical results at
+// any worker count.
 func RunNBO(cfg Config, in Input, rng *rand.Rand, hops []int) Result {
+	return runNBO(cfg, in, rng, hops, nil)
+}
+
+// runNBO is RunNBO plus a test hook: onLevel, when non-nil, observes the
+// working incumbent after each hop level's adoption step.
+func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop int, incumbent []chanIdx)) Result {
 	p := newPlanner(cfg, in)
 	runs := cfg.Runs
 	if runs <= 0 {
 		runs = 2 + len(in.APs)/100 // "proportional to the network size"
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	base := rng.Int63()
 
 	// Baseline: current channels as-is.
 	for i := range p.assign {
@@ -228,21 +270,51 @@ func RunNBO(cfg Config, in Input, rng *rand.Rand, hops []int) Result {
 	improved := false
 	rounds := 0
 
-	for _, h := range hops {
-		for r := 0; r < runs; r++ {
+	type roundOut struct {
+		score  float64
+		assign []chanIdx
+	}
+	for li, h := range hops {
+		out := make([]roundOut, runs)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wp := p.cloneScratch()
+				for r := w; r < runs; r += workers {
+					rr := rand.New(rand.NewSource(roundSeed(base, li, r)))
+					wp.nbo(rr, h)
+					out[r] = roundOut{wp.logNetP(), append([]chanIdx(nil), wp.assign...)}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Deterministic reduction: accept-if-better in round order, exactly
+		// as the serial loop would.
+		for _, ro := range out {
 			rounds++
-			p.nbo(rng, h)
-			score := p.logNetP()
-			if score > bestScore {
-				bestScore = score
-				bestAssign = append(bestAssign[:0], p.assign...)
+			if ro.score > bestScore {
+				bestScore = ro.score
+				bestAssign = ro.assign
 				improved = true
 			}
 		}
-		// Subsequent hop levels refine from the best plan so far: adopt
-		// it as the working current assignment.
+
+		// Refinement (§4.4.4): adopt the best plan so far as the working
+		// incumbent, so the next hop level's rounds plan against it — the
+		// unassigned/out-of-ψ APs appear on their best-so-far channels, and
+		// ACC's stay-put fallback keeps them there.
 		if bestAssign != nil {
-			copy(p.assign, bestAssign)
+			for i, c := range bestAssign {
+				if c != noChan {
+					p.current[i] = c
+				}
+			}
+		}
+		if onLevel != nil {
+			onLevel(h, append([]chanIdx(nil), p.current...))
 		}
 	}
 
@@ -257,6 +329,9 @@ func RunNBO(cfg Config, in Input, rng *rand.Rand, hops []int) Result {
 	res.Plan = p.snapshotPlan()
 	for id, a := range res.Plan {
 		cur := p.views[p.idxOf[id]].Current
+		if !cur.Width.Valid() {
+			continue // first assignment ever: nothing switched away from
+		}
 		if cur.Number != a.Channel.Number || cur.Width != a.Channel.Width {
 			res.Switches++
 		}

@@ -49,6 +49,9 @@ func RunReservedCA(cfg Config, in Input, fixedWidth spectrum.Width) Result {
 	res := Result{Plan: p.snapshotPlan(), LogNetP: p.logNetP(), Improved: true}
 	for id, a := range res.Plan {
 		cur := p.views[p.idxOf[id]].Current
+		if !cur.Width.Valid() {
+			continue // first assignment ever: nothing switched away from
+		}
 		if cur.Number != a.Channel.Number || cur.Width != a.Channel.Width {
 			res.Switches++
 		}

@@ -2,6 +2,7 @@ package turboca
 
 import (
 	"math/rand"
+	"sync"
 
 	"repro/internal/sim"
 	"repro/internal/spectrum"
@@ -26,11 +27,17 @@ type Service struct {
 	Bands []spectrum.Band
 
 	// Periods are configurable for accelerated simulation.
-	Fast  sim.Time // i=0 cadence (default 15 min)
-	Mid   sim.Time // i=1,0 cadence (default 3 h)
-	Deep  sim.Time // i=2,1,0 cadence (default 24 h)
-	rng   *rand.Rand
-	stops []func()
+	Fast sim.Time // i=0 cadence (default 15 min)
+	Mid  sim.Time // i=1,0 cadence (default 3 h)
+	Deep sim.Time // i=2,1,0 cadence (default 24 h)
+
+	// seed anchors the per-band RNG streams. Each band draws from its own
+	// stream (derived from seed and the band identity), so a band's plan
+	// sequence depends only on how many times that band has been planned —
+	// not on ticker interleaving or on which other bands are managed.
+	seed    int64
+	bandRng map[spectrum.Band]*rand.Rand
+	stops   []func()
 
 	// Counters for evaluation.
 	RunsTotal     int
@@ -47,9 +54,22 @@ func NewService(cfg Config, env EnvironmentFn, apply ApplyFn, seed int64) *Servi
 		Fast:        15 * sim.Minute,
 		Mid:         3 * sim.Hour,
 		Deep:        24 * sim.Hour,
-		rng:         rand.New(rand.NewSource(seed)),
+		seed:        seed,
+		bandRng:     map[spectrum.Band]*rand.Rand{},
 		LastLogNetP: map[spectrum.Band]float64{},
 	}
+}
+
+// bandStream returns band's dedicated RNG stream, creating it on first use
+// so Bands may be customized after NewService without perturbing the
+// streams of the bands that remain.
+func (s *Service) bandStream(band spectrum.Band) *rand.Rand {
+	if r, ok := s.bandRng[band]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(roundSeed(s.seed, int(band)+1, 0)))
+	s.bandRng[band] = r
+	return r
 }
 
 // Start registers the three cadences on the engine. Mid and Deep ticks
@@ -72,20 +92,44 @@ func (s *Service) Stop() {
 }
 
 // RunOnce executes one scheduled invocation across all managed bands.
+// Inputs are snapshotted serially (EnvironmentFn implementations read
+// shared backend state), the bands are then planned concurrently — each on
+// its own RNG stream — and results are applied serially in Bands order, so
+// counters, Apply callbacks, and every plan are deterministic.
 func (s *Service) RunOnce(hops []int) {
+	type job struct {
+		band spectrum.Band
+		in   Input
+		rng  *rand.Rand
+		res  Result
+	}
+	var jobs []*job
 	for _, band := range s.Bands {
 		in := s.Env(band)
 		if len(in.APs) == 0 {
 			continue
 		}
-		res := RunNBO(s.Cfg, in, s.rng, hops)
+		// Draw the band's stream serially even though planning runs
+		// concurrently: RunNBO consumes the rng exactly once, up front.
+		jobs = append(jobs, &job{band: band, in: in, rng: s.bandStream(band)})
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j *job) {
+			defer wg.Done()
+			j.res = RunNBO(s.Cfg, j.in, j.rng, hops)
+		}(j)
+	}
+	wg.Wait()
+	for _, j := range jobs {
 		s.RunsTotal++
-		s.LastLogNetP[band] = res.LogNetP
-		if res.Improved {
+		s.LastLogNetP[j.band] = j.res.LogNetP
+		if j.res.Improved {
 			s.ImprovedTotal++
-			s.SwitchesTotal += res.Switches
+			s.SwitchesTotal += j.res.Switches
 			if s.Apply != nil {
-				s.Apply(band, res.Plan, res)
+				s.Apply(j.band, j.res.Plan, j.res)
 			}
 		}
 	}
