@@ -364,12 +364,16 @@ func (p *planner) logNodeP(i int, c chanIdx) float64 {
 }
 
 // logNetP sums ln NodeP over every AP under the working state (NetP is
-// the product of NodeP, §4.4.1).
+// the product of NodeP, §4.4.1). An AP with no channel delivers no
+// service, so it contributes its floor — NodeP = MetricFloor^Load — not a
+// perfect 1: otherwise an all-unassigned baseline would beat every real
+// plan and a greenfield network could never get its first assignments.
 func (p *planner) logNetP() float64 {
 	sum := 0.0
 	for i := range p.views {
 		c := p.channelOf(i)
 		if c == noChan {
+			sum += p.views[i].Load * math.Log(p.cfg.MetricFloor)
 			continue
 		}
 		sum += p.logNodeP(i, c)

@@ -200,6 +200,67 @@ func TestEmptyCurrentNotInterned(t *testing.T) {
 	}
 }
 
+// TestGreenfieldGetsAssigned is the regression test for the baseline
+// scoring bug: unassigned APs used to be skipped by logNetP, so the
+// all-unassigned baseline scored a perfect 0 while every real plan scored
+// negative — on a greenfield network RunNBO could never accept a first
+// assignment. Unassigned APs now score at their NodeP floor, so any round
+// that gives them a channel beats the baseline.
+func TestGreenfieldGetsAssigned(t *testing.T) {
+	in := chainInput(12, spectrum.W80, 1.0)
+	for i := range in.APs {
+		in.APs[i].Current = spectrum.Channel{} // never assigned
+	}
+	res := RunNBO(DefaultConfig(), in, rand.New(rand.NewSource(7)), []int{1, 0})
+	if !res.Improved {
+		t.Fatal("greenfield network: RunNBO kept the empty baseline")
+	}
+	if len(res.Plan) != len(in.APs) {
+		t.Fatalf("greenfield plan covers %d of %d APs", len(res.Plan), len(in.APs))
+	}
+	if res.Switches != 0 {
+		t.Fatalf("first-ever assignments counted as %d switches", res.Switches)
+	}
+}
+
+// TestPartiallyFreshAPGetsAssigned covers the partial form of the same
+// bug: one never-assigned AP among assigned ones must not make the
+// baseline look better than plans that bring the new AP on-air.
+func TestPartiallyFreshAPGetsAssigned(t *testing.T) {
+	in := chainInput(8, spectrum.W80, 1.0)
+	in.APs[3].Current = spectrum.Channel{} // the one new AP
+	res := RunNBO(DefaultConfig(), in, rand.New(rand.NewSource(7)), []int{1, 0})
+	if !res.Improved {
+		t.Fatal("network with a fresh AP: RunNBO kept the baseline")
+	}
+	if _, ok := res.Plan[3]; !ok {
+		t.Fatal("fresh AP left unassigned by the accepted plan")
+	}
+}
+
+// TestServiceDuplicateBandPlannedOnce: a caller-supplied Bands slice with a
+// duplicate entry must plan the band once per invocation — not snapshot
+// its environment twice or hand the same *rand.Rand to two goroutines
+// (under -race the old code was a data race).
+func TestServiceDuplicateBandPlannedOnce(t *testing.T) {
+	env := func(band spectrum.Band) Input { return chainInput(6, spectrum.W80, 1.0) }
+	run := func(bands []spectrum.Band) *Service {
+		svc := NewService(DefaultConfig(), env, nil, 17)
+		svc.Bands = bands
+		svc.RunOnce([]int{1, 0})
+		return svc
+	}
+	dup := run([]spectrum.Band{spectrum.Band5, spectrum.Band5})
+	solo := run([]spectrum.Band{spectrum.Band5})
+	if dup.RunsTotal != 1 {
+		t.Fatalf("duplicate band planned %d times, want 1", dup.RunsTotal)
+	}
+	if dup.LastLogNetP[spectrum.Band5] != solo.LastLogNetP[spectrum.Band5] {
+		t.Fatalf("duplicate Bands entry perturbed the band's stream: %v vs %v",
+			dup.LastLogNetP[spectrum.Band5], solo.LastLogNetP[spectrum.Band5])
+	}
+}
+
 // input24 builds an n-AP 2.4 GHz chain for multi-band service tests.
 func input24(n int) Input {
 	ch6, _ := spectrum.ChannelAt(spectrum.Band2G4, 6, spectrum.W20)

@@ -261,7 +261,10 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 	}
 	base := rng.Int63()
 
-	// Baseline: current channels as-is.
+	// Baseline: current channels as-is. Never-assigned APs score at their
+	// NodeP floor (see logNetP), so any round that gives them a channel
+	// beats the baseline on their account rather than being penalized for
+	// disturbing a fictitious perfect score.
 	for i := range p.assign {
 		p.assign[i] = noChan
 	}

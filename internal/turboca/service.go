@@ -92,33 +92,40 @@ func (s *Service) Stop() {
 }
 
 // RunOnce executes one scheduled invocation across all managed bands.
-// Inputs are snapshotted serially (EnvironmentFn implementations read
-// shared backend state), the bands are then planned concurrently — each on
-// its own RNG stream — and results are applied serially in Bands order, so
-// counters, Apply callbacks, and every plan are deterministic.
+// Inputs are snapshotted and per-invocation seeds drawn serially in Bands
+// order (EnvironmentFn implementations read shared backend state, and the
+// band streams must advance deterministically), the bands are then planned
+// concurrently — each goroutine owning a private rng built from its drawn
+// seed, so no *rand.Rand is ever shared even if Bands lists a band twice —
+// and results are applied serially in Bands order, so counters, Apply
+// callbacks, and every plan are deterministic. Duplicate Bands entries are
+// planned once per invocation.
 func (s *Service) RunOnce(hops []int) {
 	type job struct {
 		band spectrum.Band
 		in   Input
-		rng  *rand.Rand
+		seed int64
 		res  Result
 	}
 	var jobs []*job
+	planned := map[spectrum.Band]bool{}
 	for _, band := range s.Bands {
+		if planned[band] {
+			continue
+		}
+		planned[band] = true
 		in := s.Env(band)
 		if len(in.APs) == 0 {
 			continue
 		}
-		// Draw the band's stream serially even though planning runs
-		// concurrently: RunNBO consumes the rng exactly once, up front.
-		jobs = append(jobs, &job{band: band, in: in, rng: s.bandStream(band)})
+		jobs = append(jobs, &job{band: band, in: in, seed: s.bandStream(band).Int63()})
 	}
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j *job) {
 			defer wg.Done()
-			j.res = RunNBO(s.Cfg, j.in, j.rng, hops)
+			j.res = RunNBO(s.Cfg, j.in, rand.New(rand.NewSource(j.seed)), hops)
 		}(j)
 	}
 	wg.Wait()
