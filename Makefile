@@ -1,13 +1,14 @@
 # Tier-1 verification for builders and CI. `make verify` is the gate every
-# change must pass: vet, build, the full test suite, and the turboca
+# change must pass: vet, build, the full test suite, the turboca
 # concurrency tests under the race detector (the parallel NBO engine's
-# determinism contract is only meaningful if it is also data-race free).
+# determinism contract is only meaningful if it is also data-race free),
+# and the control-plane chaos suite under the race detector.
 
 GO ?= go
 
-.PHONY: verify vet build test race bench
+.PHONY: verify vet build test race chaos bench
 
-verify: vet build test race
+verify: vet build test race chaos
 
 vet:
 	$(GO) vet ./...
@@ -20,6 +21,13 @@ test:
 
 race:
 	$(GO) test -race ./internal/turboca/...
+
+# Fault-injected control plane: chaos campus runs, retry/reconcile
+# contracts, and the faults package's determinism properties, all under
+# the race detector (poll delivery, retries, and planning interleave).
+chaos:
+	$(GO) test -race -run 'TestChaos|TestPollInterval' ./internal/backend/...
+	$(GO) test -race ./internal/faults/...
 
 # Planner scaling numbers (BenchmarkRunNBO sweeps Workers on ~600 APs).
 bench:

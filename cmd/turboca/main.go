@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
@@ -28,6 +29,9 @@ func main() {
 	days := flag.Int("days", 3, "simulated days per algorithm in eval mode")
 	seed := flag.Int64("seed", 42, "generation seed")
 	workers := flag.Int("workers", 0, "concurrent NBO rounds per hop level (0 = GOMAXPROCS); results are identical for any value")
+	chaos := flag.Bool("chaos", false, "eval mode: inject the default chaos fault profile (poll loss, delays, corruption, push failures)")
+	pollLoss := flag.Float64("poll-loss", 0, "eval mode: per-AP poll loss probability (overrides -chaos default)")
+	pushFail := flag.Float64("push-fail", 0, "eval mode: per-attempt plan-push failure probability (overrides -chaos default)")
 	flag.Parse()
 
 	build, ok := scenarios[*scenario]
@@ -36,11 +40,26 @@ func main() {
 		os.Exit(2)
 	}
 
+	var prof *faults.Profile
+	if *chaos || *pollLoss > 0 || *pushFail > 0 {
+		prof = faults.DefaultChaos(*seed)
+		if !*chaos {
+			// Explicit rates only: start from a quiet profile.
+			prof = &faults.Profile{Seed: *seed}
+		}
+		if *pollLoss > 0 {
+			prof.PollLoss = *pollLoss
+		}
+		if *pushFail > 0 {
+			prof.PushFail = *pushFail
+		}
+	}
+
 	switch *mode {
 	case "plan":
 		planOnce(build, *seed, *workers)
 	case "eval":
-		evalAB(build, *days, *seed, *workers)
+		evalAB(build, *days, *seed, *workers, prof)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown mode:", *mode)
 		os.Exit(2)
@@ -98,7 +117,7 @@ func bar(n int) string {
 	return string(b)
 }
 
-func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int) {
+func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int, prof *faults.Profile) {
 	d := sim.Time(days) * sim.Day
 	type result struct {
 		alg      string
@@ -106,11 +125,13 @@ func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int)
 		latP50   float64
 		effP50   float64
 		switches int
+		ctl      backend.ControlStats
 	}
 	var results []result
 	for _, alg := range []backend.Algorithm{backend.AlgReservedCA, backend.AlgTurboCA} {
 		opt := backend.DefaultOptions(alg)
 		opt.Planner.Workers = workers
+		opt.Faults = prof
 		dp := core.WrapDeploymentOptions(build(seed), opt, seed)
 		dp.Run(d)
 		// Skip the first day for stabilization, as §4.6.1 skips the first
@@ -122,11 +143,21 @@ func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int)
 			latP50:   dp.TCPLatency(from, d).Median(),
 			effP50:   dp.BitrateEfficiency(from, d).Median(),
 			switches: dp.Backend.Switches(),
+			ctl:      dp.Backend.Control(),
 		})
 	}
 	fmt.Printf("%-12s %10s %12s %10s %9s\n", "algorithm", "usage(TB)", "latP50(ms)", "effP50", "switches")
 	for _, r := range results {
 		fmt.Printf("%-12s %10.3f %12.1f %10.3f %9d\n", r.alg, r.usageTB, r.latP50, r.effP50, r.switches)
+	}
+	if prof != nil {
+		fmt.Printf("%-12s %8s %8s %8s %8s %8s %8s %8s\n", "control",
+			"dropped", "delayed", "corrupt", "rejected", "pushfail", "retries", "reconcile")
+		for _, r := range results {
+			fmt.Printf("%-12s %8d %8d %8d %8d %8d %8d %8d\n", r.alg,
+				r.ctl.PollsDropped, r.ctl.PollsDelayed, r.ctl.PollsCorrupted, r.ctl.PollsRejected,
+				r.ctl.PushesFailed, r.ctl.PushRetries, r.ctl.Reconciliations)
+		}
 	}
 	if len(results) == 2 && results[0].usageTB > 0 {
 		fmt.Printf("usage %+0.1f%%, latency %+0.1f%%, efficiency %+0.1f%%\n",

@@ -4,6 +4,14 @@
 // planner inputs, runs a channel-assignment service (TurboCA or
 // ReservedCA), and pushes accepted channel plans back to the APs.
 //
+// The control plane is hardened against the degraded-network regime the
+// real deployment lives in (§2, §4.5): polls may be lost, delayed, or
+// malformed and APs may drop offline (internal/faults injects those
+// deterministically), so the poller keeps a last-known-good report per
+// AP, planner inputs decay or pin stale APs, plan pushes retry with
+// bounded backoff, and a reconciliation loop re-pushes any AP that
+// diverged from the intended plan.
+//
 // The per-AP performance numbers the poller records come from an analytic
 // RF/contention model (model.go) evaluated against the scenario's ground
 // truth — the same role the real deployment's physics plays for the real
@@ -11,8 +19,10 @@
 package backend
 
 import (
+	"math"
 	"math/rand"
 
+	"repro/internal/faults"
 	"repro/internal/littletable"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
@@ -43,7 +53,9 @@ func (a Algorithm) String() string {
 	return "None"
 }
 
-// Options configures a backend instance.
+// Options configures a backend instance. Zero fields are defaulted by New
+// (see withDefaults), so every consumer — Start's tickers, Poll's byte
+// accounting, the staleness thresholds — sees the same resolved values.
 type Options struct {
 	Seed         int64
 	Algorithm    Algorithm
@@ -59,19 +71,108 @@ type Options struct {
 	// RadarEventsPerDay injects DFS radar detections across the network
 	// at this mean rate (0 disables; see radar.go).
 	RadarEventsPerDay float64
+
+	// Faults, when non-nil, threads a deterministic fault injector
+	// through the backend↔AP control path (see internal/faults).
+	Faults *faults.Profile
+
+	// StaleAfter is the last-known-good report age beyond which an AP is
+	// planned from decayed data (default 3 poll intervals).
+	StaleAfter sim.Time
+	// PinAfter is the report age beyond which a stale AP is pinned to
+	// its current channel instead of replanned — an AP unheard-from for
+	// that long probably cannot receive a push either (default
+	// 2×StaleAfter).
+	PinAfter sim.Time
+	// MaxStaleFraction degrades deep NBO passes (i>0) to i=0 when more
+	// than this fraction of a band's APs is stale (default 0.5; >= 1
+	// disables).
+	MaxStaleFraction float64
+
+	// PushRetryBase is the first retry delay after a failed plan push;
+	// attempts back off exponentially with deterministic jitter, capped
+	// at PushRetryMax, for at most PushAttempts total attempts per
+	// delivery. The reconciliation loop catches anything that outlives
+	// the retry budget.
+	PushRetryBase sim.Time // default 30 s
+	PushRetryMax  sim.Time // default 8 min
+	PushAttempts  int      // default 5
+	// ReconcileInterval is the cadence at which intended-vs-actual plan
+	// divergence is detected and re-pushed (default 15 min).
+	ReconcileInterval sim.Time
+
+	// Retention bounds the telemetry DB to a trailing window so
+	// multi-week simulations do not grow tables unboundedly (default
+	// 14 days; negative disables).
+	Retention sim.Time
 }
 
 // DefaultOptions returns the production cadences.
 func DefaultOptions(alg Algorithm) Options {
 	return Options{
-		Seed:               7,
-		Algorithm:          alg,
-		PollInterval:       5 * sim.Minute,
-		ReservedCAInterval: 5 * sim.Hour,
-		ReservedCAWidth:    spectrum.W20,
-		Planner:            turboca.DefaultConfig(),
-		AllowDFS:           true,
+		Seed:      7,
+		Algorithm: alg,
+		Planner:   turboca.DefaultConfig(),
+		AllowDFS:  true,
+	}.withDefaults()
+}
+
+// withDefaults resolves every zero field to its production value — the
+// single place interval and threshold defaults live.
+func (o Options) withDefaults() Options {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 5 * sim.Minute
 	}
+	if o.ReservedCAInterval <= 0 {
+		o.ReservedCAInterval = 5 * sim.Hour
+	}
+	if o.ReservedCAWidth == 0 {
+		o.ReservedCAWidth = spectrum.W20
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 3 * o.PollInterval
+	}
+	if o.PinAfter <= 0 {
+		o.PinAfter = 2 * o.StaleAfter
+	}
+	if o.MaxStaleFraction <= 0 {
+		o.MaxStaleFraction = 0.5
+	}
+	if o.PushRetryBase <= 0 {
+		o.PushRetryBase = 30 * sim.Second
+	}
+	if o.PushRetryMax <= 0 {
+		o.PushRetryMax = 8 * sim.Minute
+	}
+	if o.PushAttempts <= 0 {
+		o.PushAttempts = 5
+	}
+	if o.ReconcileInterval <= 0 {
+		o.ReconcileInterval = 15 * sim.Minute
+	}
+	if o.Retention == 0 {
+		o.Retention = 14 * sim.Day
+	}
+	return o
+}
+
+// ControlStats counts control-plane events: what the fault layer did to
+// us and what the hardening machinery did about it.
+type ControlStats struct {
+	PollsAttempted int // one per AP per poll tick
+	PollsOffline   int // AP inside an offline window
+	PollsDropped   int // lost outright
+	PollsDelayed   int // delivered late
+	PollsCorrupted int // delivered with mangled metrics
+	PollsRejected  int // malformed beyond use; last-known-good kept
+
+	PushesAttempted int // per-AP plan push attempts, retries included
+	PushesFailed    int // attempts that did not land
+	PushRetries     int // backoff retries scheduled
+	Reconciliations int // divergent APs re-pushed by the reconcile loop
+
+	StaleViews  int // planner views built from decayed last-known-good data
+	PinnedViews int // planner views pinned to their current channel
 }
 
 // Backend drives one scenario under one algorithm.
@@ -84,56 +185,81 @@ type Backend struct {
 	Service  *turboca.Service // non-nil for AlgTurboCA
 
 	rng             *rand.Rand
+	faults          *faults.Injector
 	switches        int
 	radarHit        int
 	disruptionTotal float64
 	fallbacks       map[int]spectrum.Channel // AP ID -> planner-provided DFS fallback
+
+	// reports holds the poller's last-known-good snapshot per AP, with
+	// an age stamp (see poll.go).
+	reports map[int]*apReport
+	// intended is the channel each AP should be on per band — the plan
+	// of record that push retries and the reconciler drive the network
+	// toward (see push.go).
+	intended map[spectrum.Band]map[int]turboca.Assignment
+	// retrying marks (band, AP) deliveries with a backoff retry in
+	// flight, so the reconciler does not double-push them.
+	retrying map[pushKey]bool
+	ctl      ControlStats
 }
 
 // New wires a backend over a scenario.
 func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
+	opt = opt.withDefaults()
 	b := &Backend{
 		Opt:       opt,
 		Scenario:  sc,
 		Engine:    engine,
 		DB:        littletable.NewDB(),
 		rng:       rand.New(rand.NewSource(opt.Seed)),
+		faults:    faults.New(opt.Faults),
 		fallbacks: map[int]spectrum.Channel{},
+		reports:   map[int]*apReport{},
+		intended:  map[spectrum.Band]map[int]turboca.Assignment{},
+		retrying:  map[pushKey]bool{},
+	}
+	if opt.Retention > 0 {
+		b.DB.SetRetention(opt.Retention)
 	}
 	b.Model = NewModel(sc, opt.Seed^0x5eed)
 	if opt.Algorithm == AlgTurboCA {
 		b.Service = turboca.NewService(opt.Planner, b.PlannerInput, b.applyPlan, opt.Seed)
+		b.Service.MaxStaleFraction = opt.MaxStaleFraction
 	}
 	return b
 }
 
-// Start registers the poll and planning schedules.
+// Start registers the poll, planning, and reconciliation schedules.
 func (b *Backend) Start() {
-	poll := b.Opt.PollInterval
-	if poll <= 0 {
-		poll = 5 * sim.Minute
-	}
-	b.Engine.Ticker(poll, func(e *sim.Engine) { b.Poll() })
+	b.Engine.Ticker(b.Opt.PollInterval, func(e *sim.Engine) { b.Poll() })
 
 	b.startRadar()
 	switch b.Opt.Algorithm {
 	case AlgTurboCA:
 		b.Service.Start(b.Engine)
 	case AlgReservedCA:
-		iv := b.Opt.ReservedCAInterval
-		if iv <= 0 {
-			iv = 5 * sim.Hour
-		}
-		b.Engine.Ticker(iv, func(e *sim.Engine) { b.runReservedCA() })
+		b.Engine.Ticker(b.Opt.ReservedCAInterval, func(e *sim.Engine) { b.runReservedCA() })
+	}
+	if b.Opt.Algorithm != AlgNone {
+		b.Engine.Ticker(b.Opt.ReconcileInterval, func(e *sim.Engine) { b.Reconcile() })
 	}
 }
 
 // Switches reports how many AP channel changes the service has applied.
 func (b *Backend) Switches() int { return b.switches }
 
-// PlannerInput snapshots the scenario into a turboca.Input for the band —
-// exactly the data a real backend would have: neighbor reports, scanned
-// utilization, client mixes and usage.
+// Control returns a snapshot of the control-plane counters.
+func (b *Backend) Control() ControlStats { return b.ctl }
+
+// PlannerInput snapshots the network into a turboca.Input for the band —
+// the data a real backend would have: neighbor reports, polled
+// utilization and usage, client mixes. Measured values come from the
+// poller's last-known-good reports; an AP whose report has aged past
+// StaleAfter is planned from decayed data, and one past PinAfter is
+// pinned to its current channel. APs that have never reported (e.g. a
+// planner invoked before the first poll tick) fall back to a
+// provisioning-time model snapshot.
 func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 	now := b.Engine.Now()
 	in := turboca.Input{Band: band, AllowDFS: b.Opt.AllowDFS, MaxWidth: spectrum.W80}
@@ -146,19 +272,48 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 		if band == spectrum.Band2G4 {
 			cur = ap.Channel24
 		}
+		// Bootstrap values (no report yet): live model snapshot.
+		demand := b.Scenario.DemandAt(ap, now)
+		util := perf[ap.ID].Utilization
+		// Clients dissociate off-hours; that is when the deep NBO passes
+		// can migrate APs onto DFS channels without stranding anyone
+		// through a CAC (§4.5.2).
+		hasClients := len(ap.Clients) > 0 && demand > 0.15*ap.BaseDemandMbps
+		stale, pinned := false, false
+		if rep, ok := b.reports[ap.ID]; ok {
+			age := now - rep.At
+			switch {
+			case age <= b.Opt.StaleAfter:
+				demand, util, hasClients = rep.Demand, rep.Utilization, rep.HasClients
+			case age >= b.Opt.PinAfter:
+				// Too old to trust at all: plan around the AP where it
+				// is. It likely cannot receive a push anyway.
+				pinned, stale = true, true
+				b.ctl.PinnedViews++
+				demand, util, hasClients = rep.Demand, rep.Utilization, true
+			default:
+				// Stale: decay the last-known-good load toward zero so a
+				// silent AP gradually stops claiming airtime weight, but
+				// keep its client picture conservative.
+				stale = true
+				b.ctl.StaleViews++
+				decay := math.Exp(-float64(age-b.Opt.StaleAfter) / float64(b.Opt.StaleAfter))
+				demand, util = rep.Demand*decay, rep.Utilization*decay
+				hasClients = rep.HasClients
+			}
+		}
 		v := turboca.APView{
-			ID:       ap.ID,
-			Current:  cur,
-			MaxWidth: minWidth(in.MaxWidth, ap.MaxWidth),
-			// Clients dissociate off-hours; that is when the deep NBO
-			// passes can migrate APs onto DFS channels without stranding
-			// anyone through a CAC (§4.5.2).
-			HasClients:   len(ap.Clients) > 0 && b.Scenario.DemandAt(ap, now) > 0.15*ap.BaseDemandMbps,
+			ID:           ap.ID,
+			Current:      cur,
+			MaxWidth:     minWidth(in.MaxWidth, ap.MaxWidth),
+			HasClients:   hasClients,
 			CSAFraction:  csaFraction(ap),
-			Load:         normalizeLoad(b.Scenario.DemandAt(ap, now)),
+			Load:         normalizeLoad(demand),
 			WidthLoad:    widthLoad(ap),
-			Utilization:  perf[ap.ID].Utilization,
+			Utilization:  util,
 			ExternalUtil: b.externalUtilMap(ap, band),
+			Stale:        stale,
+			Pinned:       pinned,
 		}
 		for _, n := range b.Scenario.NeighborsOf(ap) {
 			v.Neighbors = append(v.Neighbors, n.AP.ID)
@@ -225,81 +380,15 @@ func (b *Backend) externalUtilMap(ap *topo.AP, band spectrum.Band) map[int]float
 	return out
 }
 
-// applyPlan pushes an accepted plan onto the scenario's APs.
-func (b *Backend) applyPlan(band spectrum.Band, plan turboca.Plan, res turboca.Result) {
-	for _, ap := range b.Scenario.APs {
-		a, ok := plan[ap.ID]
-		if !ok {
-			continue
-		}
-		if band == spectrum.Band2G4 {
-			if ap.Channel24 != a.Channel {
-				b.switches++
-				ap.Channel24 = a.Channel
-				b.chargeSwitch(ap, band, b.Engine.Now())
-			}
-			continue
-		}
-		if ap.Channel != a.Channel {
-			b.switches++
-			ap.Channel = a.Channel
-			b.chargeSwitch(ap, band, b.Engine.Now())
-		}
-		if a.Fallback != nil {
-			b.fallbacks[ap.ID] = *a.Fallback
-		} else {
-			delete(b.fallbacks, ap.ID)
-		}
-	}
-	b.Model.Invalidate()
-}
-
 func (b *Backend) runReservedCA() {
 	for _, band := range []spectrum.Band{spectrum.Band5, spectrum.Band2G4} {
 		in := b.PlannerInput(band)
+		(&in).Sanitize()
 		w := b.Opt.ReservedCAWidth
 		if band == spectrum.Band2G4 {
 			w = spectrum.W20
 		}
 		res := turboca.RunReservedCA(b.Opt.Planner, in, w)
 		b.applyPlan(band, res.Plan, res)
-	}
-}
-
-// Poll collects one statistics sample per AP into the time-series store:
-// usage (bytes served this interval), channel utilization, TCP latency
-// samples, bit-rate efficiency, and client RSSIs.
-func (b *Backend) Poll() {
-	now := b.Engine.Now()
-	perf := b.Model.Evaluate(now)
-	interval := b.Opt.PollInterval
-	usage := b.DB.Table("usage")
-	util := b.DB.Table("utilization")
-	lat := b.DB.Table("tcp_latency")
-	eff := b.DB.Table("bitrate_eff")
-
-	for _, ap := range b.Scenario.APs {
-		p := perf[ap.ID]
-		servedBytes := p.ServedMbps * 1e6 / 8 * interval.Seconds()
-		key := ap.Name
-		usage.Insert(key, now, map[string]float64{
-			"bytes":   servedBytes,
-			"demand":  p.DemandMbps,
-			"served":  p.ServedMbps,
-			"clients": float64(len(ap.Clients)),
-		})
-		util.InsertValue(key, now, "util", p.Utilization)
-		// Latency and bit-rate observations are per-transmission in the
-		// real system, so busy APs and busy hours contribute
-		// proportionally more samples to the fleet distributions
-		// (Figs 8-9). Importance-weight by served traffic.
-		n := 1 + int(p.ServedMbps/20)
-		if n > 12 {
-			n = 12
-		}
-		for i := 0; i < n; i++ {
-			lat.InsertValue(key, now, "ms", b.Model.SampleTCPLatency(p, b.rng))
-			eff.InsertValue(key, now, "eff", b.Model.SampleBitrateEff(p, b.rng))
-		}
 	}
 }

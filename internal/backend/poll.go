@@ -1,0 +1,145 @@
+package backend
+
+import (
+	"math"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// Hardened statistics collection. Each poll tick asks every AP for one
+// sample; the fault injector may drop the exchange, delay the report in
+// transit, or mangle its metric values. Whatever arrives intact becomes
+// the AP's last-known-good report (apReport), which is what the planner
+// input is built from — a lost poll never erases what we knew, it only
+// ages it.
+
+// apReport is the poller's last-known-good snapshot of one AP, stamped
+// with the simulation time the sample was taken (not delivered).
+type apReport struct {
+	At          sim.Time
+	Demand      float64 // offered load, Mbps
+	Utilization float64
+	HasClients  bool
+}
+
+// maxSaneDemandMbps rejects wild-scale corrupted demand values: no single
+// AP in these scenarios offers anywhere near 100 Gbps.
+const maxSaneDemandMbps = 1e5
+
+// polledSample is one AP's report in flight from AP to cloud.
+type polledSample struct {
+	ap          *topo.AP
+	at          sim.Time
+	demand      float64
+	util        float64
+	served      float64
+	servedBytes float64
+	clients     float64
+	hasClients  bool
+	latencies   []float64
+	effs        []float64
+}
+
+// Poll collects one statistics sample per AP into the time-series store:
+// usage (bytes served this interval), channel utilization, TCP latency
+// samples, and bit-rate efficiency. Faults are applied per AP: offline
+// and dropped polls vanish (counters only), corrupted polls mangle the
+// metric fields, delayed polls deliver the same sample later via the
+// engine. All randomness — the latency/efficiency sample draws — is
+// consumed here at poll time, so the b.rng stream advances identically
+// whether or not a report is delayed or later rejected.
+func (b *Backend) Poll() {
+	now := b.Engine.Now()
+	perf := b.Model.Evaluate(now)
+	interval := b.Opt.PollInterval
+
+	for _, ap := range b.Scenario.APs {
+		b.ctl.PollsAttempted++
+		if b.faults.Offline(ap.ID, now) {
+			b.ctl.PollsOffline++
+			continue
+		}
+		if b.faults.DropPoll(ap.ID, now) {
+			b.ctl.PollsDropped++
+			continue
+		}
+		p := perf[ap.ID]
+		demand, util := p.DemandMbps, p.Utilization
+		if b.faults.CorruptPoll(ap.ID, now) {
+			b.ctl.PollsCorrupted++
+			demand = b.faults.CorruptValue(demand, ap.ID, 0, now)
+			util = b.faults.CorruptValue(util, ap.ID, 1, now)
+		}
+		n := 1 + int(p.ServedMbps/20)
+		if n > 12 {
+			n = 12
+		}
+		s := polledSample{
+			ap: ap, at: now,
+			demand: demand, util: util,
+			served:      p.ServedMbps,
+			servedBytes: p.ServedMbps * 1e6 / 8 * interval.Seconds(),
+			clients:     float64(len(ap.Clients)),
+			// Clients dissociate off-hours; that is when the deep NBO
+			// passes can migrate APs onto DFS channels without stranding
+			// anyone through a CAC (§4.5.2).
+			hasClients: len(ap.Clients) > 0 && p.DemandMbps > 0.15*ap.BaseDemandMbps,
+			latencies:  make([]float64, n),
+			effs:       make([]float64, n),
+		}
+		// Latency and bit-rate observations are per-transmission in the
+		// real system, so busy APs and busy hours contribute
+		// proportionally more samples to the fleet distributions
+		// (Figs 8-9). Importance-weight by served traffic.
+		for i := 0; i < n; i++ {
+			s.latencies[i] = b.Model.SampleTCPLatency(p, b.rng)
+			s.effs[i] = b.Model.SampleBitrateEff(p, b.rng)
+		}
+		if d, ok := b.faults.DelayPoll(ap.ID, now); ok {
+			b.ctl.PollsDelayed++
+			b.Engine.After(d, func(e *sim.Engine) { b.ingest(s) })
+			continue
+		}
+		b.ingest(s)
+	}
+}
+
+// ingest validates a delivered report, records it in the time-series
+// store, and promotes it to the AP's last-known-good snapshot. Malformed
+// reports (NaN, negative, or wild-scale metrics — every shape
+// faults.CorruptValue produces) are rejected whole: no rows, no
+// last-known-good update, so a corrupted poll behaves exactly like a
+// lost one except for the counter.
+func (b *Backend) ingest(s polledSample) {
+	if !saneMetric(s.demand, maxSaneDemandMbps) || !saneMetric(s.util, 1) {
+		b.ctl.PollsRejected++
+		return
+	}
+	key := s.ap.Name
+	b.DB.Table("usage").Insert(key, s.at, map[string]float64{
+		"bytes":   s.servedBytes,
+		"demand":  s.demand,
+		"served":  s.served,
+		"clients": s.clients,
+	})
+	b.DB.Table("utilization").InsertValue(key, s.at, "util", s.util)
+	lat := b.DB.Table("tcp_latency")
+	eff := b.DB.Table("bitrate_eff")
+	for i := range s.latencies {
+		lat.InsertValue(key, s.at, "ms", s.latencies[i])
+		eff.InsertValue(key, s.at, "eff", s.effs[i])
+	}
+	// A delayed report may arrive after a fresher one already landed;
+	// last-known-good is ordered by sample time, not delivery time.
+	if rep, ok := b.reports[s.ap.ID]; !ok || s.at >= rep.At {
+		b.reports[s.ap.ID] = &apReport{
+			At: s.at, Demand: s.demand, Utilization: s.util, HasClients: s.hasClients,
+		}
+	}
+}
+
+// saneMetric accepts finite values in [0, hi].
+func saneMetric(v, hi float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 && v <= hi
+}

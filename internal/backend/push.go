@@ -1,0 +1,191 @@
+package backend
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/topo"
+	"repro/internal/turboca"
+)
+
+// Plan delivery. An accepted plan first becomes the intent of record
+// (b.intended); each AP whose on-air channel diverges from intent is then
+// pushed. A failed push retries with bounded exponential backoff and
+// deterministic jitter for up to Opt.PushAttempts attempts; anything that
+// outlives the retry budget — or diverges later, e.g. a radar fallback —
+// is caught by the periodic Reconcile pass. Intent is re-read at every
+// deferred delivery, so a newer plan always supersedes a stale retry.
+
+// pushKey identifies one (band, AP) delivery for retry bookkeeping.
+type pushKey struct {
+	band spectrum.Band
+	ap   int
+}
+
+// applyPlan records plan as the intent of record for the band and pushes
+// it to each diverging AP, returning how many switches landed
+// immediately. Deferred deliveries (retries, reconciliations) credit
+// Service.SwitchesTotal themselves when they land, so partial
+// applications are never over-counted.
+func (b *Backend) applyPlan(band spectrum.Band, plan turboca.Plan, res turboca.Result) int {
+	m := b.intended[band]
+	if m == nil {
+		m = map[int]turboca.Assignment{}
+		b.intended[band] = m
+	}
+	applied := 0
+	for _, ap := range b.Scenario.APs {
+		a, ok := plan[ap.ID]
+		if !ok {
+			continue
+		}
+		m[ap.ID] = a
+		if b.channelOn(ap, band) == a.Channel {
+			// Already there (e.g. a pinned AP planned in place) — just
+			// refresh the DFS fallback; no push needed.
+			b.noteFallback(ap.ID, band, a)
+			continue
+		}
+		if b.pushAP(ap, band, a, 0) {
+			applied++
+		}
+	}
+	return applied
+}
+
+// pushAP attempts one configuration push. On failure it arms the backoff
+// retry chain and reports false.
+func (b *Backend) pushAP(ap *topo.AP, band spectrum.Band, a turboca.Assignment, attempt int) bool {
+	now := b.Engine.Now()
+	b.ctl.PushesAttempted++
+	if b.faults.Offline(ap.ID, now) || b.faults.FailPush(ap.ID, int(band), now, attempt) {
+		b.ctl.PushesFailed++
+		b.scheduleRetry(ap, band, attempt)
+		return false
+	}
+	b.installChannel(ap, band, a)
+	return true
+}
+
+// scheduleRetry arms the next delivery attempt: delay doubles from
+// Opt.PushRetryBase, capped at Opt.PushRetryMax, plus up to 50%
+// deterministic jitter so a burst of failures does not retry in
+// lockstep. When the attempt budget is exhausted the chain stops and the
+// reconciler owns the divergence.
+func (b *Backend) scheduleRetry(ap *topo.AP, band spectrum.Band, attempt int) {
+	if attempt+1 >= b.Opt.PushAttempts {
+		return
+	}
+	key := pushKey{band, ap.ID}
+	if b.retrying[key] {
+		return
+	}
+	d := b.Opt.PushRetryBase << uint(attempt)
+	if d > b.Opt.PushRetryMax {
+		d = b.Opt.PushRetryMax
+	}
+	d += sim.Time(float64(d) * 0.5 * b.faults.Jitter(ap.ID, int(band), attempt, b.Engine.Now()))
+	b.retrying[key] = true
+	b.ctl.PushRetries++
+	b.Engine.After(d, func(e *sim.Engine) {
+		delete(b.retrying, key)
+		// Re-read intent: a newer plan, or a radar fallback, may have
+		// superseded the assignment this retry was armed for.
+		a, ok := b.intent(band, ap.ID)
+		if !ok || b.channelOn(ap, band) == a.Channel {
+			return
+		}
+		if b.pushAP(ap, band, a, attempt+1) && b.Service != nil {
+			b.Service.SwitchesTotal++
+		}
+	})
+}
+
+// installChannel applies an assignment to the AP, charging switch
+// disruption and invalidating the model when the channel actually
+// changes.
+func (b *Backend) installChannel(ap *topo.AP, band spectrum.Band, a turboca.Assignment) {
+	changed := false
+	if band == spectrum.Band2G4 {
+		if ap.Channel24 != a.Channel {
+			ap.Channel24 = a.Channel
+			changed = true
+		}
+	} else if ap.Channel != a.Channel {
+		ap.Channel = a.Channel
+		changed = true
+	}
+	b.noteFallback(ap.ID, band, a)
+	if changed {
+		b.switches++
+		b.chargeSwitch(ap, band, b.Engine.Now())
+		b.Model.Invalidate()
+	}
+}
+
+// Reconcile re-pushes every AP whose on-air channel diverges from the
+// intended plan and has no backoff retry already in flight. It iterates
+// the scenario's AP slice (never a Go map) so the push order — and with
+// it every fault decision and counter — is deterministic.
+func (b *Backend) Reconcile() {
+	for _, band := range []spectrum.Band{spectrum.Band5, spectrum.Band2G4} {
+		m := b.intended[band]
+		if len(m) == 0 {
+			continue
+		}
+		for _, ap := range b.Scenario.APs {
+			a, ok := m[ap.ID]
+			if !ok || b.channelOn(ap, band) == a.Channel || b.retrying[pushKey{band, ap.ID}] {
+				continue
+			}
+			b.ctl.Reconciliations++
+			if b.pushAP(ap, band, a, 0) && b.Service != nil {
+				b.Service.SwitchesTotal++
+			}
+		}
+	}
+}
+
+// Converged reports whether every AP with an intended assignment is on
+// that channel — the control plane's eventual-consistency invariant.
+func (b *Backend) Converged() bool {
+	for _, band := range []spectrum.Band{spectrum.Band5, spectrum.Band2G4} {
+		m := b.intended[band]
+		for _, ap := range b.Scenario.APs {
+			if a, ok := m[ap.ID]; ok && b.channelOn(ap, band) != a.Channel {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// channelOn returns the AP's on-air channel for the band.
+func (b *Backend) channelOn(ap *topo.AP, band spectrum.Band) spectrum.Channel {
+	if band == spectrum.Band2G4 {
+		return ap.Channel24
+	}
+	return ap.Channel
+}
+
+// intent returns the intended assignment for (band, AP), if any.
+func (b *Backend) intent(band spectrum.Band, apID int) (turboca.Assignment, bool) {
+	m := b.intended[band]
+	if m == nil {
+		return turboca.Assignment{}, false
+	}
+	a, ok := m[apID]
+	return a, ok
+}
+
+// noteFallback tracks the planner-provided DFS fallback for 5 GHz
+// assignments (radar.go consumes it).
+func (b *Backend) noteFallback(apID int, band spectrum.Band, a turboca.Assignment) {
+	if band != spectrum.Band5 {
+		return
+	}
+	if a.Fallback != nil {
+		b.fallbacks[apID] = *a.Fallback
+	} else {
+		delete(b.fallbacks, apID)
+	}
+}

@@ -3,6 +3,7 @@ package backend
 import (
 	"repro/internal/sim"
 	"repro/internal/spectrum"
+	"repro/internal/turboca"
 )
 
 // DFS radar handling (§4.5.2): operation on a DFS channel requires
@@ -63,6 +64,13 @@ func (b *Backend) radarEvent() {
 	}
 	ap.Channel = fb
 	b.switches++
+	// The fallback is now the plan of record for this AP — otherwise the
+	// reconciler would immediately push it back onto the radar channel.
+	if m := b.intended[spectrum.Band5]; m != nil {
+		if _, ok := m[ap.ID]; ok {
+			m[ap.ID] = turboca.Assignment{Channel: fb}
+		}
+	}
 	b.Model.Invalidate()
 }
 

@@ -177,6 +177,7 @@ func PlanOnceWith(sc *topo.Scenario, cfg turboca.Config, seed int64) turboca.Res
 	engine := sim.NewEngine(seed)
 	be := backend.New(backend.DefaultOptions(backend.AlgTurboCA), sc, engine)
 	in := be.PlannerInput(spectrum.Band5)
+	(&in).Sanitize()
 	res := turboca.RunNBO(cfg, in, sc.Rand(), []int{2, 1, 0})
 	for _, ap := range sc.APs {
 		if a, ok := res.Plan[ap.ID]; ok {

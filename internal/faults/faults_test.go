@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilInjectorIsFaultFree(t *testing.T) {
+	var inj *Injector = New(nil)
+	if inj.Active() {
+		t.Fatal("nil injector active")
+	}
+	if inj.Offline(1, sim.Hour) || inj.DropPoll(1, sim.Hour) || inj.CorruptPoll(1, sim.Hour) {
+		t.Fatal("nil injector injected a fault")
+	}
+	if _, ok := inj.DelayPoll(1, sim.Hour); ok {
+		t.Fatal("nil injector delayed a poll")
+	}
+	if inj.FailPush(1, 0, sim.Hour, 0) {
+		t.Fatal("nil injector failed a push")
+	}
+	if inj.Jitter(1, 0, 0, sim.Hour) != 0 {
+		t.Fatal("nil injector jittered")
+	}
+	if v := inj.CorruptValue(3.5, 1, 0, sim.Hour); v != 3.5 {
+		t.Fatalf("nil injector corrupted value: %v", v)
+	}
+}
+
+func TestDecisionsAreDeterministicAndOrderFree(t *testing.T) {
+	a := New(DefaultChaos(7))
+	b := New(DefaultChaos(7))
+	// Ask b the same questions in reverse order: answers must match a's.
+	type q struct {
+		ap int
+		at sim.Time
+	}
+	var qs []q
+	for ap := 0; ap < 50; ap++ {
+		for k := 0; k < 20; k++ {
+			qs = append(qs, q{ap, sim.Time(k) * 5 * sim.Minute})
+		}
+	}
+	want := make([]bool, len(qs))
+	for i, x := range qs {
+		want[i] = a.DropPoll(x.ap, x.at)
+	}
+	for i := len(qs) - 1; i >= 0; i-- {
+		if got := b.DropPoll(qs[i].ap, qs[i].at); got != want[i] {
+			t.Fatalf("order-dependent decision at %d", i)
+		}
+	}
+}
+
+func TestRatesApproximateProfile(t *testing.T) {
+	inj := New(&Profile{Seed: 3, PollLoss: 0.2, PushFail: 0.1})
+	n, drops, fails := 0, 0, 0
+	for ap := 0; ap < 100; ap++ {
+		for k := 0; k < 200; k++ {
+			at := sim.Time(k) * 5 * sim.Minute
+			n++
+			if inj.DropPoll(ap, at) {
+				drops++
+			}
+			if inj.FailPush(ap, 0, at, 0) {
+				fails++
+			}
+		}
+	}
+	if f := float64(drops) / float64(n); f < 0.18 || f > 0.22 {
+		t.Fatalf("poll loss rate %f, want ~0.20", f)
+	}
+	if f := float64(fails) / float64(n); f < 0.08 || f > 0.12 {
+		t.Fatalf("push fail rate %f, want ~0.10", f)
+	}
+}
+
+func TestSeedsDecorrelate(t *testing.T) {
+	a, b := New(DefaultChaos(1)), New(DefaultChaos(2))
+	same, n := 0, 0
+	for ap := 0; ap < 40; ap++ {
+		for k := 0; k < 50; k++ {
+			at := sim.Time(k) * 5 * sim.Minute
+			n++
+			if a.DropPoll(ap, at) == b.DropPoll(ap, at) {
+				same++
+			}
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestOfflineWindows(t *testing.T) {
+	inj := New(&Profile{Seed: 1, Offline: []Window{
+		{APID: 4, From: sim.Hour, To: 2 * sim.Hour},
+		{APID: 4, From: 5 * sim.Hour, To: 6 * sim.Hour},
+	}})
+	cases := []struct {
+		at   sim.Time
+		want bool
+	}{
+		{0, false},
+		{sim.Hour, true},
+		{2*sim.Hour - 1, true},
+		{2 * sim.Hour, false},
+		{5*sim.Hour + sim.Minute, true},
+		{7 * sim.Hour, false},
+	}
+	for _, c := range cases {
+		if got := inj.Offline(4, c.at); got != c.want {
+			t.Fatalf("Offline(4, %v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if inj.Offline(5, sim.Hour+sim.Minute) {
+		t.Fatal("window leaked onto another AP")
+	}
+}
+
+func TestDelayBoundedAndCorruptionShapes(t *testing.T) {
+	inj := New(&Profile{Seed: 9, PollDelay: 1, PollDelayMax: 10 * sim.Minute, PollCorrupt: 1})
+	sawNaN, sawNeg, sawScale := false, false, false
+	for ap := 0; ap < 60; ap++ {
+		at := sim.Time(ap) * sim.Minute
+		d, ok := inj.DelayPoll(ap, at)
+		if !ok {
+			t.Fatalf("PollDelay=1 did not delay ap %d", ap)
+		}
+		if d <= 0 || d > 10*sim.Minute {
+			t.Fatalf("delay %v out of (0, 10m]", d)
+		}
+		v := inj.CorruptValue(5, ap, 0, at)
+		switch {
+		case math.IsNaN(v):
+			sawNaN = true
+		case v < 0:
+			sawNeg = true
+		case v > 1e5:
+			sawScale = true
+		}
+	}
+	if !sawNaN || !sawNeg || !sawScale {
+		t.Fatalf("corruption shapes missing: nan=%v neg=%v scale=%v", sawNaN, sawNeg, sawScale)
+	}
+}

@@ -42,21 +42,48 @@ type Table struct {
 	name   string
 	byKey  map[string]*series
 	nowRef func() sim.Time
+
+	// db links back to the owning DB for the retention setting; nil for
+	// a standalone table (no retention).
+	db *DB
+	// maxAt is the newest timestamp ever inserted — the reference point
+	// retention prunes against (monotonic even when inserts arrive out
+	// of order).
+	maxAt sim.Time
+	// sincePrune counts inserts since the last retention pass, so
+	// pruning costs are amortized over pruneBatch appends.
+	sincePrune int
 }
+
+// pruneBatch is how many inserts a table accepts between retention
+// passes. Trimming re-slices every key, so doing it on every append
+// would be quadratic; once per batch keeps the overshoot bounded (at
+// most pruneBatch rows past the window) and the amortized cost constant.
+const pruneBatch = 64
 
 // DB is a collection of named tables.
 type DB struct {
-	tables map[string]*Table
+	tables    map[string]*Table
+	retention sim.Time
 }
 
 // NewDB returns an empty store.
 func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
 
+// SetRetention bounds every table to a trailing window: rows older than
+// (newest insert - window) are pruned during inserts. Zero or negative
+// disables retention. The window applies to tables created before or
+// after the call.
+func (db *DB) SetRetention(window sim.Time) { db.retention = window }
+
+// Retention returns the configured trailing window (0 = unlimited).
+func (db *DB) Retention() sim.Time { return db.retention }
+
 // Table returns (creating if needed) the named table.
 func (db *DB) Table(name string) *Table {
 	t, ok := db.tables[name]
 	if !ok {
-		t = &Table{name: name, byKey: map[string]*series{}}
+		t = &Table{name: name, byKey: map[string]*series{}, db: db}
 		db.tables[name] = t
 	}
 	return t
@@ -85,6 +112,18 @@ func (t *Table) Insert(key string, at sim.Time, fields map[string]float64) {
 		s.unsorted = true
 	}
 	s.rows = append(s.rows, Row{At: at, Fields: fields})
+	if at > t.maxAt {
+		t.maxAt = at
+	}
+	if t.db != nil && t.db.retention > 0 {
+		t.sincePrune++
+		if t.sincePrune >= pruneBatch {
+			t.sincePrune = 0
+			if cutoff := t.maxAt - t.db.retention; cutoff > 0 {
+				t.Trim(cutoff)
+			}
+		}
+	}
 }
 
 // InsertValue appends a single-field row.

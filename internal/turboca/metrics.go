@@ -44,6 +44,16 @@ type APView struct {
 	// Utilization is the AP's current-channel total utilization, used for
 	// the §4.5.1 high-utilization penalty scaling.
 	Utilization float64
+	// Stale marks a view built from decayed last-known-good telemetry
+	// because the AP has not reported recently; it feeds the service's
+	// degradation guard (skip deep passes when too much of the input is
+	// guesswork).
+	Stale bool
+	// Pinned freezes the AP on its current channel: the planner plans
+	// around it but never moves it. The backend pins APs it has not heard
+	// from for so long that even decayed data is untrustworthy — an
+	// offline AP cannot receive a push anyway.
+	Pinned bool
 }
 
 // Input is one band's planning problem.
@@ -54,6 +64,21 @@ type Input struct {
 	AllowDFS bool
 	// MaxWidth caps assignments network-wide (admin override, Table 1).
 	MaxWidth spectrum.Width
+}
+
+// StaleFraction reports the share of APs planned from stale or pinned
+// (untrusted) telemetry.
+func (in Input) StaleFraction() float64 {
+	if len(in.APs) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range in.APs {
+		if in.APs[i].Stale || in.APs[i].Pinned {
+			n++
+		}
+	}
+	return float64(n) / float64(len(in.APs))
 }
 
 // Config holds the planner's tunables.

@@ -95,6 +95,13 @@ func (p *planner) nbo(rng *rand.Rand, hopLimit int) {
 	}
 	remaining := p.remBuf[:0]
 	for i := 0; i < n; i++ {
+		// A pinned AP (stale/offline telemetry, §4.5-style caution) is
+		// pre-assigned its current channel and never enters ψ: neighbors
+		// always see it where it really is, and no pass can move it.
+		if p.views[i].Pinned && p.current[i] != noChan {
+			p.assign[i] = p.current[i]
+			continue
+		}
 		remaining = append(remaining, i)
 	}
 

@@ -13,8 +13,11 @@ import (
 type EnvironmentFn func(band spectrum.Band) Input
 
 // ApplyFn delivers an accepted plan to the network (the backend pushes the
-// configuration to the APs).
-type ApplyFn func(band spectrum.Band, plan Plan, res Result)
+// configuration to the APs) and returns how many AP channel switches were
+// actually applied right away. Deliveries that land later — push retries,
+// reconciliations — are reported by incrementing Service.SwitchesTotal
+// directly, so partial applications are never over-counted.
+type ApplyFn func(band spectrum.Band, plan Plan, res Result) (switched int)
 
 // Service is TurboCA's run-time schedule (§4.4.4): NBO with i=0 every 15
 // minutes, i=1 then i=0 every 3 hours, and i=2,1,0 once a day. Every
@@ -31,6 +34,13 @@ type Service struct {
 	Mid  sim.Time // i=1,0 cadence (default 3 h)
 	Deep sim.Time // i=2,1,0 cadence (default 24 h)
 
+	// MaxStaleFraction is the service's degradation guard: when more than
+	// this fraction of a band's APs is planned from stale or pinned
+	// telemetry, the deep (i>0) passes of an invocation are skipped and
+	// only the safe i=0 refinement runs — don't make bold moves on data
+	// you don't trust. 0 or >= 1 disables the guard.
+	MaxStaleFraction float64
+
 	// seed anchors the per-band RNG streams. Each band draws from its own
 	// stream (derived from seed and the band identity), so a band's plan
 	// sequence depends only on how many times that band has been planned —
@@ -43,7 +53,13 @@ type Service struct {
 	RunsTotal     int
 	SwitchesTotal int
 	ImprovedTotal int
-	LastLogNetP   map[spectrum.Band]float64
+	// DegradedTotal counts band-invocations whose deep passes were
+	// skipped by the staleness guard.
+	DegradedTotal int
+	// SanitizedTotal accumulates Input.Sanitize corrections across all
+	// invocations (malformed telemetry that reached the planner).
+	SanitizedTotal int
+	LastLogNetP    map[spectrum.Band]float64
 }
 
 // NewService builds a service with the paper's default cadences.
@@ -104,6 +120,7 @@ func (s *Service) RunOnce(hops []int) {
 	type job struct {
 		band spectrum.Band
 		in   Input
+		hops []int
 		seed int64
 		res  Result
 	}
@@ -118,14 +135,23 @@ func (s *Service) RunOnce(hops []int) {
 		if len(in.APs) == 0 {
 			continue
 		}
-		jobs = append(jobs, &job{band: band, in: in, seed: s.bandStream(band).Int63()})
+		// Harden every input before it reaches the metric evaluation: a
+		// degraded control plane may hand us NaN loads, duplicate views,
+		// or neighbor edges to APs that fell out of the snapshot.
+		s.SanitizedTotal += in.Sanitize()
+		jobHops := hops
+		if s.degraded(in, hops) {
+			jobHops = []int{0}
+			s.DegradedTotal++
+		}
+		jobs = append(jobs, &job{band: band, in: in, hops: jobHops, seed: s.bandStream(band).Int63()})
 	}
 	var wg sync.WaitGroup
 	for _, j := range jobs {
 		wg.Add(1)
 		go func(j *job) {
 			defer wg.Done()
-			j.res = RunNBO(s.Cfg, j.in, rand.New(rand.NewSource(j.seed)), hops)
+			j.res = RunNBO(s.Cfg, j.in, rand.New(rand.NewSource(j.seed)), j.hops)
 		}(j)
 	}
 	wg.Wait()
@@ -134,12 +160,30 @@ func (s *Service) RunOnce(hops []int) {
 		s.LastLogNetP[j.band] = j.res.LogNetP
 		if j.res.Improved {
 			s.ImprovedTotal++
-			s.SwitchesTotal += j.res.Switches
 			if s.Apply != nil {
-				s.Apply(j.band, j.res.Plan, j.res)
+				s.SwitchesTotal += s.Apply(j.band, j.res.Plan, j.res)
+			} else {
+				s.SwitchesTotal += j.res.Switches
 			}
 		}
 	}
+}
+
+// degraded reports whether an invocation's deep passes must be skipped
+// for this input: the guard only bites when the schedule actually carries
+// a deep (i>0) pass and the stale share exceeds the configured bound.
+func (s *Service) degraded(in Input, hops []int) bool {
+	if s.MaxStaleFraction <= 0 || s.MaxStaleFraction >= 1 {
+		return false
+	}
+	deep := false
+	for _, h := range hops {
+		if h > 0 {
+			deep = true
+			break
+		}
+	}
+	return deep && in.StaleFraction() > s.MaxStaleFraction
 }
 
 // RadarEvent handles a DFS radar detection on an AP (§4.5.2): the AP must

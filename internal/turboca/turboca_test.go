@@ -317,11 +317,12 @@ func TestServiceAppliesImprovedPlans(t *testing.T) {
 		}
 		return chainInput(4, spectrum.W80, 1.0) // always the bad plan: always improvable
 	}
-	svc := NewService(DefaultConfig(), env, func(band spectrum.Band, plan Plan, res Result) {
+	svc := NewService(DefaultConfig(), env, func(band spectrum.Band, plan Plan, res Result) int {
 		applied++
 		if len(plan) == 0 {
 			t.Error("empty plan applied")
 		}
+		return res.Switches
 	}, 6)
 	svc.Bands = []spectrum.Band{spectrum.Band5}
 	svc.Start(engine)
