@@ -2,13 +2,26 @@
 # change must pass: vet, build, the full test suite, the turboca
 # concurrency tests under the race detector (the parallel NBO engine's
 # determinism contract is only meaningful if it is also data-race free),
-# and the control-plane chaos suite under the race detector.
+# the control-plane chaos suite under the race detector, the coverage
+# floor on the packet-path packages, and a short fuzz smoke over the
+# checked-in corpora.
 
 GO ?= go
 
-.PHONY: verify vet build test race chaos bench
+# Packages whose statement coverage must stay at or above COVER_FLOOR:
+# the TCP packet path, where a silent regression corrupts traffic rather
+# than failing a build.
+COVER_PKGS  = ./internal/fastack ./internal/tcpstack ./internal/packet
+COVER_FLOOR = 75
 
-verify: vet build test race chaos
+# Seconds of random exploration per fuzz target in the smoke pass. The
+# checked-in seed corpora always run in full via `make test`; this adds a
+# brief live search so verify catches shallow regressions in new code.
+FUZZTIME = 5s
+
+.PHONY: verify vet build test race chaos cover fuzz bench
+
+verify: vet build test race chaos cover fuzz
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +41,26 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestPollInterval' ./internal/backend/...
 	$(GO) test -race ./internal/faults/...
+
+# Coverage floor: fails if any of COVER_PKGS drops below COVER_FLOOR%.
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		out=$$($(GO) test -cover -count=1 $$pkg | tail -1) || exit 1; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; exit 1; fi; \
+		ok=$$(echo "$$pct $(COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != 1 ]; then \
+			echo "coverage floor: $$pkg at $$pct% < $(COVER_FLOOR)%"; exit 1; \
+		fi; \
+		echo "cover $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+	done
+
+# Fuzz smoke: each target explores for FUZZTIME beyond its seed corpus.
+# Go allows one -fuzz target per invocation, hence one line per target.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzSanitize$$' -fuzztime $(FUZZTIME) ./internal/turboca
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/packet
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEthernet$$' -fuzztime $(FUZZTIME) ./internal/packet
 
 # Planner scaling numbers (BenchmarkRunNBO sweeps Workers on ~600 APs).
 bench:

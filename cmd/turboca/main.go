@@ -13,14 +13,21 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
 	"repro/internal/turboca"
+
+	// Registers the fastack metric scope on the default registry so
+	// -metrics advertises the full schema even in planner-only runs
+	// (exporter-style pre-registration).
+	_ "repro/internal/fastack"
 )
 
 func main() {
@@ -32,7 +39,22 @@ func main() {
 	chaos := flag.Bool("chaos", false, "eval mode: inject the default chaos fault profile (poll loss, delays, corruption, push failures)")
 	pollLoss := flag.Float64("poll-loss", 0, "eval mode: per-AP poll loss probability (overrides -chaos default)")
 	pushFail := flag.Float64("push-fail", 0, "eval mode: per-attempt plan-push failure probability (overrides -chaos default)")
+	metricsAddr := flag.String("metrics", "", "serve metrics JSON (/metrics), text (/metrics.txt), span traces (/trace), and net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		reg.EnableTracing(4096, func() int64 { return time.Now().UnixNano() })
+		srv, errc := obs.Serve(*metricsAddr, reg)
+		defer srv.Close()
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
+	}
 
 	build, ok := scenarios[*scenario]
 	if !ok {
@@ -59,10 +81,15 @@ func main() {
 	case "plan":
 		planOnce(build, *seed, *workers)
 	case "eval":
-		evalAB(build, *days, *seed, *workers, prof)
+		evalAB(build, *days, *seed, *workers, prof, reg)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown mode:", *mode)
 		os.Exit(2)
+	}
+
+	if reg != nil {
+		fmt.Println("--- metrics ---")
+		_, _ = reg.Snapshot().WriteText(os.Stdout)
 	}
 }
 
@@ -117,7 +144,7 @@ func bar(n int) string {
 	return string(b)
 }
 
-func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int, prof *faults.Profile) {
+func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int, prof *faults.Profile, reg *obs.Registry) {
 	d := sim.Time(days) * sim.Day
 	type result struct {
 		alg      string
@@ -132,6 +159,10 @@ func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int,
 		opt := backend.DefaultOptions(alg)
 		opt.Planner.Workers = workers
 		opt.Faults = prof
+		// Control() is read immediately after each run, before the next
+		// backend is built, so the shared serving registry still yields
+		// exact per-instance deltas.
+		opt.Obs = reg
 		dp := core.WrapDeploymentOptions(build(seed), opt, seed)
 		dp.Run(d)
 		// Skip the first day for stabilization, as §4.6.1 skips the first

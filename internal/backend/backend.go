@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/littletable"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
@@ -75,6 +76,14 @@ type Options struct {
 	// Faults, when non-nil, threads a deterministic fault injector
 	// through the backend↔AP control path (see internal/faults).
 	Faults *faults.Profile
+
+	// Obs, when non-nil, routes the backend's control-plane metrics and
+	// spans to this registry (cmd/turboca passes its serving registry so
+	// -metrics covers the backend scope). When nil each Backend gets a
+	// private registry, so Control() deltas stay exact across any number
+	// of instances. Either way the registry also becomes the planner's
+	// unless Planner.Obs is set explicitly.
+	Obs *obs.Registry
 
 	// StaleAfter is the last-known-good report age beyond which an AP is
 	// planned from decayed data (default 3 poll intervals).
@@ -201,12 +210,29 @@ type Backend struct {
 	// retrying marks (band, AP) deliveries with a backoff retry in
 	// flight, so the reconciler does not double-push them.
 	retrying map[pushKey]bool
-	ctl      ControlStats
+	// ctl holds the control-plane counters on an obs registry; ctlBase is
+	// their value at construction, so Control() reports per-instance
+	// deltas (see obs.go).
+	obsReg  *obs.Registry
+	ctl     *ctlMetrics
+	ctlBase ControlStats
 }
 
 // New wires a backend over a scenario.
 func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 	opt = opt.withDefaults()
+	reg := opt.Obs
+	if reg == nil {
+		// A private registry per instance keeps Control() deltas exact no
+		// matter how many backends a process runs or when their stats are
+		// read; pass a shared registry (e.g. obs.Default()) to aggregate
+		// across instances for serving.
+		reg = obs.NewRegistry()
+	}
+	if opt.Planner.Obs == nil {
+		opt.Planner.Obs = reg.Scope("turboca")
+	}
+	ctl := ctlMetricsOn(reg)
 	b := &Backend{
 		Opt:       opt,
 		Scenario:  sc,
@@ -218,6 +244,9 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 		reports:   map[int]*apReport{},
 		intended:  map[spectrum.Band]map[int]turboca.Assignment{},
 		retrying:  map[pushKey]bool{},
+		obsReg:    reg,
+		ctl:       ctl,
+		ctlBase:   ctl.read(),
 	}
 	if opt.Retention > 0 {
 		b.DB.SetRetention(opt.Retention)
@@ -249,8 +278,14 @@ func (b *Backend) Start() {
 // Switches reports how many AP channel changes the service has applied.
 func (b *Backend) Switches() int { return b.switches }
 
-// Control returns a snapshot of the control-plane counters.
-func (b *Backend) Control() ControlStats { return b.ctl }
+// Control returns a snapshot of the control-plane counters accumulated by
+// this Backend instance (the registry totals minus the construction-time
+// baseline).
+func (b *Backend) Control() ControlStats { return b.ctl.read().sub(b.ctlBase) }
+
+// ObsRegistry exposes the registry this backend's metrics and spans land
+// on — Options.Obs when provided, otherwise the instance-private one.
+func (b *Backend) ObsRegistry() *obs.Registry { return b.obsReg }
 
 // PlannerInput snapshots the network into a turboca.Input for the band —
 // the data a real backend would have: neighbor reports, polled
@@ -282,6 +317,7 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 		stale, pinned := false, false
 		if rep, ok := b.reports[ap.ID]; ok {
 			age := now - rep.At
+			b.ctl.pollAgeUS.Observe(int64(age))
 			switch {
 			case age <= b.Opt.StaleAfter:
 				demand, util, hasClients = rep.Demand, rep.Utilization, rep.HasClients
@@ -289,14 +325,14 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 				// Too old to trust at all: plan around the AP where it
 				// is. It likely cannot receive a push anyway.
 				pinned, stale = true, true
-				b.ctl.PinnedViews++
+				b.ctl.pinnedViews.Inc()
 				demand, util, hasClients = rep.Demand, rep.Utilization, true
 			default:
 				// Stale: decay the last-known-good load toward zero so a
 				// silent AP gradually stops claiming airtime weight, but
 				// keep its client picture conservative.
 				stale = true
-				b.ctl.StaleViews++
+				b.ctl.staleViews.Inc()
 				decay := math.Exp(-float64(age-b.Opt.StaleAfter) / float64(b.Opt.StaleAfter))
 				demand, util = rep.Demand*decay, rep.Utilization*decay
 				hasClients = rep.HasClients

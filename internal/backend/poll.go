@@ -2,6 +2,7 @@ package backend
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -50,24 +51,30 @@ type polledSample struct {
 // consumed here at poll time, so the b.rng stream advances identically
 // whether or not a report is delayed or later rejected.
 func (b *Backend) Poll() {
+	sp := b.obsReg.Tracer().Begin("backend.poll")
+	passStart := time.Now()
+	defer func() {
+		b.ctl.pollPassUS.Observe(time.Since(passStart).Microseconds())
+		sp.End()
+	}()
 	now := b.Engine.Now()
 	perf := b.Model.Evaluate(now)
 	interval := b.Opt.PollInterval
 
 	for _, ap := range b.Scenario.APs {
-		b.ctl.PollsAttempted++
+		b.ctl.pollsAttempted.Inc()
 		if b.faults.Offline(ap.ID, now) {
-			b.ctl.PollsOffline++
+			b.ctl.pollsOffline.Inc()
 			continue
 		}
 		if b.faults.DropPoll(ap.ID, now) {
-			b.ctl.PollsDropped++
+			b.ctl.pollsDropped.Inc()
 			continue
 		}
 		p := perf[ap.ID]
 		demand, util := p.DemandMbps, p.Utilization
 		if b.faults.CorruptPoll(ap.ID, now) {
-			b.ctl.PollsCorrupted++
+			b.ctl.pollsCorrupted.Inc()
 			demand = b.faults.CorruptValue(demand, ap.ID, 0, now)
 			util = b.faults.CorruptValue(util, ap.ID, 1, now)
 		}
@@ -97,7 +104,8 @@ func (b *Backend) Poll() {
 			s.effs[i] = b.Model.SampleBitrateEff(p, b.rng)
 		}
 		if d, ok := b.faults.DelayPoll(ap.ID, now); ok {
-			b.ctl.PollsDelayed++
+			b.ctl.pollsDelayed.Inc()
+			b.ctl.pollDelayUS.Observe(int64(d))
 			b.Engine.After(d, func(e *sim.Engine) { b.ingest(s) })
 			continue
 		}
@@ -113,7 +121,7 @@ func (b *Backend) Poll() {
 // lost one except for the counter.
 func (b *Backend) ingest(s polledSample) {
 	if !saneMetric(s.demand, maxSaneDemandMbps) || !saneMetric(s.util, 1) {
-		b.ctl.PollsRejected++
+		b.ctl.pollsRejected.Inc()
 		return
 	}
 	key := s.ap.Name

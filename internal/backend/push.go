@@ -1,6 +1,8 @@
 package backend
 
 import (
+	"time"
+
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
@@ -56,9 +58,9 @@ func (b *Backend) applyPlan(band spectrum.Band, plan turboca.Plan, res turboca.R
 // retry chain and reports false.
 func (b *Backend) pushAP(ap *topo.AP, band spectrum.Band, a turboca.Assignment, attempt int) bool {
 	now := b.Engine.Now()
-	b.ctl.PushesAttempted++
+	b.ctl.pushesAttempted.Inc()
 	if b.faults.Offline(ap.ID, now) || b.faults.FailPush(ap.ID, int(band), now, attempt) {
-		b.ctl.PushesFailed++
+		b.ctl.pushesFailed.Inc()
 		b.scheduleRetry(ap, band, attempt)
 		return false
 	}
@@ -85,7 +87,8 @@ func (b *Backend) scheduleRetry(ap *topo.AP, band spectrum.Band, attempt int) {
 	}
 	d += sim.Time(float64(d) * 0.5 * b.faults.Jitter(ap.ID, int(band), attempt, b.Engine.Now()))
 	b.retrying[key] = true
-	b.ctl.PushRetries++
+	b.ctl.pushRetries.Inc()
+	b.ctl.pushDelayUS.Observe(int64(d))
 	b.Engine.After(d, func(e *sim.Engine) {
 		delete(b.retrying, key)
 		// Re-read intent: a newer plan, or a radar fallback, may have
@@ -127,6 +130,12 @@ func (b *Backend) installChannel(ap *topo.AP, band spectrum.Band, a turboca.Assi
 // the scenario's AP slice (never a Go map) so the push order — and with
 // it every fault decision and counter — is deterministic.
 func (b *Backend) Reconcile() {
+	sp := b.obsReg.Tracer().Begin("backend.reconcile")
+	passStart := time.Now()
+	defer func() {
+		b.ctl.reconcilePassUS.Observe(time.Since(passStart).Microseconds())
+		sp.End()
+	}()
 	for _, band := range []spectrum.Band{spectrum.Band5, spectrum.Band2G4} {
 		m := b.intended[band]
 		if len(m) == 0 {
@@ -137,7 +146,7 @@ func (b *Backend) Reconcile() {
 			if !ok || b.channelOn(ap, band) == a.Channel || b.retrying[pushKey{band, ap.ID}] {
 				continue
 			}
-			b.ctl.Reconciliations++
+			b.ctl.reconciliations.Inc()
 			if b.pushAP(ap, band, a, 0) && b.Service != nil {
 				b.Service.SwitchesTotal++
 			}

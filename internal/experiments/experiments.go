@@ -15,6 +15,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/littletable"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -66,8 +67,11 @@ func pc(v float64) string { return fmt.Sprintf("%.1f%%", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 
-// All runs every experiment in order.
+// All runs every experiment in order, ending with a dump of the metrics
+// the run itself generated (planner, backend, fastack, littletable
+// scopes on the default obs registry).
 func All(opt Options) []Report {
+	metricsBefore := obs.Default().Snapshot()
 	fl := fleet.Generate(fleet.Options{Seed: opt.Seed, Networks: 800})
 	out := []Report{
 		Fig1(opt),
@@ -81,6 +85,7 @@ func All(opt Options) []Report {
 	}
 	out = append(out, TurboCAExperiments(opt)...)
 	out = append(out, FastACKExperiments(opt)...)
+	out = append(out, MetricsReport(obs.Default().Snapshot().Delta(metricsBefore)))
 	return out
 }
 

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// MetricsReport renders the observability activity accumulated during a
+// run as a regular Report, so every experiment sweep ends with the same
+// counters and latency distributions a live -metrics endpoint would show.
+// delta should be the end-of-run snapshot diffed against the start-of-run
+// one (obs.Snapshot.Delta), so repeated sweeps in one process report only
+// their own activity.
+func MetricsReport(delta obs.Snapshot) Report {
+	var rows []Row
+	names := make([]string, 0, len(delta.Counters))
+	for name := range delta.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows = append(rows, Row{name, "-", fmt.Sprintf("%d", delta.Counters[name])})
+	}
+	names = names[:0]
+	for name := range delta.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := delta.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		rows = append(rows, Row{name, "-",
+			fmt.Sprintf("n=%d mean=%.1f p50=%d p95=%d p99=%d %s", h.Count, h.Mean, h.P50, h.P95, h.P99, h.Unit)})
+	}
+	return Report{
+		ID: "Metrics", Title: "Run metrics (internal/obs)",
+		Rows:  rows,
+		Notes: fmt.Sprintf("scopes: %v; gauges omitted (instantaneous). Wall-time histograms vary by host; value histograms are deterministic per seed.", delta.Scopes()),
+	}
+}

@@ -253,6 +253,7 @@ func (a *Agent) cacheInsert(f *flowState, d *packet.Datagram) {
 	}
 	if ev := f.cacheInsert(d, a.cfg.CacheLimitBytes); ev > 0 {
 		a.stats.CacheEvictions++
+		obsm.cacheEvictions.Inc()
 	}
 }
 
@@ -277,19 +278,26 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 		// link stays bad, no fast ACKs advance and the sender times out,
 		// which is the desired §5.5.1 fallback.
 		if cached := f.cacheLookup(d.TCP.Seq); cached != nil {
+			obsm.cacheHits.Inc()
 			a.stats.WirelessRedrives++
 			disp.ToClient = append(disp.ToClient, cached.Clone())
+		} else {
+			obsm.cacheMisses.Inc()
 		}
 		return disp
 	}
 
 	f.enqueueAcked(d.TCP.Seq, d.PayloadLen)
-	if _, advanced := f.drainContiguous(); advanced {
+	fackBefore := f.seqFack
+	if newFack, segs := f.drainContiguous(); segs > 0 {
 		// One cumulative fast ACK covers the whole contiguous run (the
 		// production agent coalesces; the sender's byte-counting cwnd
 		// growth is unaffected).
 		fa := a.buildAck(f, f.seqFack)
 		a.stats.FastAcksSent++
+		obsm.fastAcksSent.Inc()
+		obsm.ampduBytes.Observe(int64(newFack - fackBefore))
+		obsm.ampduSegs.Observe(int64(segs))
 		f.lastFastAckAt = a.now()
 		disp.ToSender = append(disp.ToSender, fa)
 	}
@@ -344,6 +352,7 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 		disp.Forward = true
 	} else {
 		a.stats.ClientAcksDropped++
+		obsm.clientAcksDropped.Inc()
 	}
 
 	switch {
@@ -358,6 +367,7 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 			// release it now that the client drained (§5.5.2).
 			up := a.buildAck(f, f.seqFack)
 			a.stats.WindowUpdates++
+			obsm.windowUpdates.Inc()
 			disp.ToSender = append(disp.ToSender, up)
 		}
 
@@ -393,6 +403,7 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 		// information.
 		if !a.cfg.DisableSuppression {
 			a.stats.ClientAcksDropped--
+			obsm.clientAcksDropped.Add(-1)
 		}
 		disp.Forward = true
 	}
@@ -406,8 +417,12 @@ func (a *Agent) retransmitFromCache(f *flowState, ack uint32, sack []packet.SACK
 	const maxPerEvent = 16
 	var out []*packet.Datagram
 	if d := f.cacheLookup(ack); d != nil {
+		obsm.cacheHits.Inc()
 		a.stats.LocalRetransmits++
+		obsm.localRetransmits.Inc()
 		out = append(out, d.Clone())
+	} else {
+		obsm.cacheMisses.Inc()
 	}
 	// SACK-based: retransmit cached data between ack and the lowest SACK
 	// edge that is not covered by any block.
@@ -420,6 +435,7 @@ func (a *Agent) retransmitFromCache(f *flowState, ack uint32, sack []packet.SACK
 				continue
 			}
 			a.stats.LocalRetransmits++
+			obsm.localRetransmits.Inc()
 			out = append(out, d.Clone())
 		}
 	}
@@ -448,6 +464,7 @@ func (a *Agent) buildAck(f *flowState, ackNo uint32) *packet.Datagram {
 		wscale = 0
 	}
 	advBytes := f.advertisedWindow(a.cfg.FlowQueueBudget)
+	obsm.advWindow.Observe(int64(advBytes))
 	adv := advBytes >> wscale
 	if adv > 65535 {
 		adv = 65535

@@ -135,9 +135,11 @@ func (f *flowState) enqueueAcked(seq uint32, length int) {
 }
 
 // drainContiguous pops entries off q_seq while they continue seq_fack,
-// returning the new cumulative fast-ack point and whether it advanced
-// (Fig 12's continuity loop).
-func (f *flowState) drainContiguous() (newFack uint32, advanced bool) {
+// returning the new cumulative fast-ack point and how many segments it
+// advanced over (Fig 12's continuity loop). segs > 0 means the fast-ack
+// point moved; the segment count is also the caller's best proxy for the
+// A-MPDU the block ACK covered.
+func (f *flowState) drainContiguous() (newFack uint32, segs int) {
 	for len(f.qSeq) > 0 {
 		head := f.qSeq[0]
 		if head.seq != f.seqFack {
@@ -151,9 +153,9 @@ func (f *flowState) drainContiguous() (newFack uint32, advanced bool) {
 		}
 		f.seqFack = head.seq + uint32(head.len)
 		f.qSeq = f.qSeq[1:]
-		advanced = true
+		segs++
 	}
-	return f.seqFack, advanced
+	return f.seqFack, segs
 }
 
 // cacheInsert stores a clone of the data packet for local retransmission.

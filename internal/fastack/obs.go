@@ -1,0 +1,56 @@
+package fastack
+
+import (
+	"repro/internal/obs"
+)
+
+// FastACK observability (scope "fastack" on the process-wide default
+// registry). Agents are per-AP and their Stats() snapshots stay the
+// per-instance API; the obs counters aggregate across every agent in the
+// process so one -metrics endpoint shows fleet-wide FastACK activity.
+// Each counter bump is a single atomic add on the datapath.
+//
+// Metric inventory:
+//
+//	fastack.fast_acks_sent      proactive TCP ACKs generated toward senders
+//	fastack.client_acks_dropped client duplicate ACKs suppressed
+//	fastack.cache_hits          retransmission-cache lookups that served
+//	fastack.cache_misses        lookups for segments not (or no longer) held
+//	fastack.cache_evictions     limit-forced evictions (limit too small or
+//	                            purge outrun by the sender)
+//	fastack.local_retransmits   segments re-driven from the cache
+//	fastack.window_updates      explicit window-update ACKs after a clamp
+//	fastack.ampdu_bytes         bytes coalesced per fast ACK — the agent's
+//	                            proxy for delivered A-MPDU size (§5.2: one
+//	                            block ACK covers one aggregate)
+//	fastack.ampdu_segs          MPDUs coalesced per fast ACK
+//	fastack.adv_window_bytes    rewritten advertised window per generated
+//	                            ACK (0 ⇒ sender deliberately stalled)
+type fastackMetrics struct {
+	fastAcksSent      *obs.Counter
+	clientAcksDropped *obs.Counter
+	cacheHits         *obs.Counter
+	cacheMisses       *obs.Counter
+	cacheEvictions    *obs.Counter
+	localRetransmits  *obs.Counter
+	windowUpdates     *obs.Counter
+	ampduBytes        *obs.Histogram
+	ampduSegs         *obs.Histogram
+	advWindow         *obs.Histogram
+}
+
+var obsm = func() *fastackMetrics {
+	s := obs.Default().Scope("fastack")
+	return &fastackMetrics{
+		fastAcksSent:      s.Counter("fast_acks_sent"),
+		clientAcksDropped: s.Counter("client_acks_dropped"),
+		cacheHits:         s.Counter("cache_hits"),
+		cacheMisses:       s.Counter("cache_misses"),
+		cacheEvictions:    s.Counter("cache_evictions"),
+		localRetransmits:  s.Counter("local_retransmits"),
+		windowUpdates:     s.Counter("window_updates"),
+		ampduBytes:        s.Histogram("ampdu_bytes", "B"),
+		ampduSegs:         s.Histogram("ampdu_segs", "segs"),
+		advWindow:         s.Histogram("adv_window_bytes", "B"),
+	}
+}()

@@ -1,0 +1,148 @@
+package fastack
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// traceRecorder renders every agent interaction as one deterministic text
+// line, the format of testdata/golden_trace.txt.
+type traceRecorder struct {
+	h     *harness
+	lines []string
+}
+
+func (r *traceRecorder) record(event string, disp Disposition) {
+	var b strings.Builder
+	b.WriteString(event)
+	b.WriteString(" ->")
+	if disp.Forward {
+		b.WriteString(" fwd")
+	}
+	if disp.Elevate {
+		b.WriteString(" elevate")
+	}
+	if !disp.Forward && !disp.Elevate {
+		b.WriteString(" drop")
+	}
+	for _, d := range disp.ToSender {
+		fmt.Fprintf(&b, " | toSender ack=%d win=%d", d.TCP.Ack, d.TCP.Window)
+		for _, s := range d.TCP.SACK {
+			fmt.Fprintf(&b, " sack=%d-%d", s.Left, s.Right)
+		}
+	}
+	for _, d := range disp.ToClient {
+		fmt.Fprintf(&b, " | toClient seq=%d len=%d", d.TCP.Seq, d.PayloadLen)
+	}
+	r.lines = append(r.lines, b.String())
+}
+
+func (r *traceRecorder) downlink(d *packet.Datagram) {
+	r.record(fmt.Sprintf("t=%-6d downlink  seq=%d len=%d", r.h.now, d.TCP.Seq, d.PayloadLen),
+		r.h.a.HandleDownlink(d))
+}
+
+func (r *traceRecorder) wirelessAck(d *packet.Datagram, ok bool) {
+	r.record(fmt.Sprintf("t=%-6d 80211ack  seq=%d ok=%v", r.h.now, d.TCP.Seq, ok),
+		r.h.a.HandleWirelessAck(d, ok))
+}
+
+func (r *traceRecorder) uplink(d *packet.Datagram) {
+	ev := fmt.Sprintf("t=%-6d uplink    ack=%d win=%d", r.h.now, d.TCP.Ack, d.TCP.Window)
+	for _, s := range d.TCP.SACK {
+		ev += fmt.Sprintf(" sack=%d-%d", s.Left, s.Right)
+	}
+	r.record(ev, r.h.a.HandleUplink(d))
+}
+
+// TestGoldenTrace replays a fixed end-to-end scenario — handshake,
+// in-order delivery, an A-MPDU ACKed out of order, a MAC drop with cache
+// redrive, client dup-ACKs triggering a SACK-guided local retransmission,
+// an upstream hole with emulated dup-ACK, and its repair — and compares
+// every disposition the agent returns, byte for byte, against the golden
+// transcript. Any behavioral change to the agent shows up as a readable
+// trace diff; regenerate deliberately with `go test -run GoldenTrace
+// -update`.
+func TestGoldenTrace(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DupAckThreshold = 2
+	r := &traceRecorder{h: newHarness(cfg)}
+	r.h.handshake(t)
+
+	// Phase 1: three segments delivered in order, each 802.11-ACKed.
+	for i := uint32(0); i < 3; i++ {
+		r.downlink(data(1000 + i*segLen))
+	}
+	r.h.now += sim.Millisecond
+	for i := uint32(0); i < 3; i++ {
+		r.wirelessAck(data(1000+i*segLen), true)
+	}
+
+	// Phase 2: an A-MPDU of three more segments whose block ACK arrives
+	// out of order — no fast ACK may pass the gap; the drain coalesces.
+	for i := uint32(3); i < 6; i++ {
+		r.downlink(data(1000 + i*segLen))
+	}
+	r.h.now += sim.Millisecond
+	r.wirelessAck(data(1000+4*segLen), true)
+	r.wirelessAck(data(1000+5*segLen), true)
+	r.wirelessAck(data(1000+3*segLen), true)
+
+	// Phase 3: a seventh segment's MPDU is dropped by the MAC after
+	// retries; the agent re-drives it from the cache.
+	r.downlink(data(7000))
+	r.h.now += sim.Millisecond
+	r.wirelessAck(data(7000), false)
+	r.wirelessAck(data(7000), true)
+
+	// Phase 4: the client turns out to be missing 5000..7000 (bad hints):
+	// it dup-ACKs 5000 with SACK for 7000..8000. The second dup-ACK
+	// triggers a local retransmission of exactly the uncovered segments.
+	r.h.now += sim.Millisecond
+	dup := func() *packet.Datagram {
+		d := clientAck(5000, 2048)
+		d.TCP.SACK = []packet.SACKBlock{{Left: 7000, Right: 8000}}
+		return d
+	}
+	r.uplink(clientAck(5000, 2048))
+	r.uplink(dup())
+	r.uplink(dup())
+
+	// Phase 5: client catches up; cumulative progress purges the cache.
+	r.h.now += sim.Millisecond
+	r.uplink(clientAck(8000, 2048))
+
+	// Phase 6: upstream loss — 8000..9000 never reaches the AP; 9000
+	// arrives, the agent emulates the client's dup-ACK with SACK, then the
+	// sender's retransmission fills the hole.
+	r.h.now += sim.Millisecond
+	r.downlink(data(9000))
+	r.downlink(data(8000))
+
+	got := strings.Join(r.lines, "\n") + "\n"
+	golden := filepath.Join("testdata", "golden_trace.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden trace (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("agent trace diverged from golden transcript.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

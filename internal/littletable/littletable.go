@@ -9,6 +9,7 @@ package littletable
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -103,6 +104,9 @@ func (db *DB) TableNames() []string {
 // (the common case for a poller); out-of-order inserts are accepted and
 // lazily re-sorted.
 func (t *Table) Insert(key string, at sim.Time, fields map[string]float64) {
+	start := time.Now()
+	defer func() { obsm.insertNS.Observe(time.Since(start).Nanoseconds()) }()
+	obsm.rowsInserted.Inc()
 	s, ok := t.byKey[key]
 	if !ok {
 		s = &series{}
@@ -152,6 +156,8 @@ func (t *Table) Len(key string) int {
 // Range returns the rows for key with from <= At < to, in time order. The
 // returned slice aliases internal storage and must not be modified.
 func (t *Table) Range(key string, from, to sim.Time) []Row {
+	start := time.Now()
+	defer func() { obsm.queryNS.Observe(time.Since(start).Nanoseconds()) }()
 	s, ok := t.byKey[key]
 	if !ok {
 		return nil
@@ -252,6 +258,9 @@ func (t *Table) Trim(cutoff sim.Time) int {
 			removed += lo
 			s.rows = append(s.rows[:0], s.rows[lo:]...)
 		}
+	}
+	if removed > 0 {
+		obsm.rowsPruned.Add(int64(removed))
 	}
 	return removed
 }

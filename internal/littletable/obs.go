@@ -1,0 +1,30 @@
+package littletable
+
+import (
+	"repro/internal/obs"
+)
+
+// Store observability (scope "littletable" on the process-wide default
+// registry), aggregated across every DB in the process.
+//
+//	littletable.rows_inserted  rows appended across all tables
+//	littletable.rows_pruned    rows discarded by retention trimming
+//	littletable.insert_ns      wall ns per Insert (including any amortized
+//	                           retention pass it triggered)
+//	littletable.query_ns       wall ns per Range scan
+var obsm = func() *storeMetrics {
+	s := obs.Default().Scope("littletable")
+	return &storeMetrics{
+		rowsInserted: s.Counter("rows_inserted"),
+		rowsPruned:   s.Counter("rows_pruned"),
+		insertNS:     s.Histogram("insert_ns", "ns"),
+		queryNS:      s.Histogram("query_ns", "ns"),
+	}
+}()
+
+type storeMetrics struct {
+	rowsInserted *obs.Counter
+	rowsPruned   *obs.Counter
+	insertNS     *obs.Histogram
+	queryNS      *obs.Histogram
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HTTP export: the one way metrics and profiles leave a running process.
+// Handler mounts the registry's JSON and text snapshots alongside
+// net/http/pprof on a private mux (never http.DefaultServeMux, so two
+// registries — or two tests — can serve independently).
+//
+//	/metrics       expvar-style JSON snapshot of every metric
+//	/metrics.txt   line-oriented text rendering (sorted, grep-friendly)
+//	/trace         buffered tracer spans, text, oldest first
+//	/debug/pprof/  the standard pprof index, profiles, and traces
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		s := r.Snapshot()
+		if scope := req.URL.Query().Get("scope"); scope != "" {
+			s = s.Scoped(scope)
+		}
+		_ = s.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.txt", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s := r.Snapshot()
+		if scope := req.URL.Query().Get("scope"); scope != "" {
+			s = s.Scoped(scope)
+		}
+		_, _ = s.WriteText(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(r.Tracer().String()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr in a background
+// goroutine and returns it; callers Close it on shutdown. Listen errors
+// are reported on the returned channel (buffered, at most one).
+func Serve(addr string, r *Registry) (*http.Server, <-chan error) {
+	srv := &http.Server{Addr: addr, Handler: Handler(r)}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+		close(errc)
+	}()
+	return srv, errc
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Event tracing: span begin/end pairs in a fixed-size ring buffer. The
+// clock is pluggable so spans can be stamped in wall nanoseconds (real
+// runs) or simulation microseconds (deterministic tests) — the tracer
+// never reads time itself.
+//
+// Tracing is off by default and costs one nil check per span when off:
+// every method is nil-safe, so instrumented code calls
+// reg.Tracer().Begin(...) unconditionally.
+
+// SpanEvent is one completed span.
+type SpanEvent struct {
+	Name  string `json:"name"`
+	Start int64  `json:"start"`
+	End   int64  `json:"end"`
+}
+
+// Dur returns the span length in clock units.
+func (e SpanEvent) Dur() int64 { return e.End - e.Start }
+
+// Tracer records completed spans into a ring buffer, keeping the most
+// recent capacity events.
+type Tracer struct {
+	clock func() int64
+
+	mu      sync.Mutex
+	ring    []SpanEvent
+	next    int
+	wrapped bool
+	dropped int64 // spans overwritten after wrap
+}
+
+// NewTracer builds a tracer with the given ring capacity and clock.
+func NewTracer(capacity int, clock func() int64) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	return &Tracer{clock: clock, ring: make([]SpanEvent, capacity)}
+}
+
+// Span is an in-flight trace region; End completes it. The zero Span (from
+// a nil tracer) is inert.
+type Span struct {
+	t     *Tracer
+	name  string
+	start int64
+}
+
+// Begin opens a span stamped with the tracer's clock. Safe on a nil
+// tracer, in which case the returned span is a no-op.
+func (t *Tracer) Begin(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.clock()}
+}
+
+// End completes the span and commits it to the ring.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	ev := SpanEvent{Name: s.name, Start: s.start, End: s.t.clock()}
+	t := s.t
+	t.mu.Lock()
+	if t.wrapped {
+		t.dropped++
+	}
+	t.ring[t.next] = ev
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Events returns the buffered spans oldest-first. Safe on a nil tracer.
+func (t *Tracer) Events() []SpanEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.wrapped {
+		return append([]SpanEvent(nil), t.ring[:t.next]...)
+	}
+	out := make([]SpanEvent, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// Dropped returns how many spans were overwritten after the ring wrapped.
+// Safe on a nil tracer.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// String renders the buffered spans one per line, for debugging dumps.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%12d %12d %s\n", e.Start, e.Dur(), e.Name)
+	}
+	return b.String()
+}

@@ -169,6 +169,32 @@ func (t *TCP) FlagString() string {
 	return s
 }
 
+// sackBlocks returns how many SACK blocks fit the 40-byte TCP option
+// budget alongside the other options present. A header assembled from
+// hostile or fuzzed input may carry more blocks than any real sender
+// could encode; emitting them all would push the data offset past its
+// 4-bit field and corrupt the header.
+func (t *TCP) sackBlocks() int {
+	base := 0
+	if t.MSS != 0 {
+		base += 4
+	}
+	if t.WindowScale >= 0 {
+		base += 3
+	}
+	if t.SACKPermitted {
+		base += 2
+	}
+	n := len(t.SACK)
+	if n > 4 {
+		n = 4
+	}
+	for n > 0 && base+2+8*n > 40 {
+		n--
+	}
+	return n
+}
+
 // optionsLen returns the padded length of the encoded options.
 func (t *TCP) optionsLen() int {
 	n := 0
@@ -181,8 +207,8 @@ func (t *TCP) optionsLen() int {
 	if t.SACKPermitted {
 		n += 2
 	}
-	if len(t.SACK) > 0 {
-		n += 2 + 8*len(t.SACK)
+	if k := t.sackBlocks(); k > 0 {
+		n += 2 + 8*k
 	}
 	return (n + 3) &^ 3 // pad to 4-byte boundary
 }
@@ -231,13 +257,13 @@ func (t *TCP) encodeOptions(b []byte) []byte {
 		b = append(b, 4, 2)
 		n += 2
 	}
-	if len(t.SACK) > 0 {
-		b = append(b, 5, byte(2+8*len(t.SACK)))
-		for _, blk := range t.SACK {
+	if k := t.sackBlocks(); k > 0 {
+		b = append(b, 5, byte(2+8*k))
+		for _, blk := range t.SACK[:k] {
 			b = binary.BigEndian.AppendUint32(b, blk.Left)
 			b = binary.BigEndian.AppendUint32(b, blk.Right)
 		}
-		n += 2 + 8*len(t.SACK)
+		n += 2 + 8*k
 	}
 	for n%4 != 0 {
 		b = append(b, 0) // end-of-options / pad
@@ -300,7 +326,9 @@ func (t *TCP) decodeOptions(opts []byte) error {
 		case 4:
 			t.SACKPermitted = true
 		case 5:
-			for len(body) >= 8 {
+			// Cap at the 4 blocks the option format admits on the wire;
+			// repeated SACK options cannot accumulate past it.
+			for len(body) >= 8 && len(t.SACK) < 4 {
 				t.SACK = append(t.SACK, SACKBlock{
 					Left:  binary.BigEndian.Uint32(body[0:4]),
 					Right: binary.BigEndian.Uint32(body[4:8]),

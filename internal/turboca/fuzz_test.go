@@ -1,0 +1,159 @@
+package turboca_test
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/spectrum"
+	"repro/internal/turboca"
+)
+
+// inputFromBytes deterministically decodes an arbitrary byte string into a
+// planning input — the adversarial shapes a degraded control plane can
+// hand the planner: duplicate and negative AP IDs, NaN/Inf metrics
+// (float fields are raw bit patterns), off-band channels, bogus widths,
+// dangling neighbor references.
+func inputFromBytes(data []byte) turboca.Input {
+	pos := 0
+	u8 := func() byte {
+		if pos >= len(data) {
+			return 0
+		}
+		b := data[pos]
+		pos++
+		return b
+	}
+	f64 := func() float64 {
+		var raw [8]byte
+		for i := range raw {
+			raw[i] = u8()
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))
+	}
+	band := spectrum.Band5
+	if u8()&1 == 1 {
+		band = spectrum.Band2G4
+	}
+	in := turboca.Input{
+		Band:     band,
+		AllowDFS: u8()&1 == 1,
+		MaxWidth: spectrum.Width(u8() % 6), // includes invalid widths
+	}
+	nAPs := int(u8() % 24)
+	for i := 0; i < nAPs; i++ {
+		v := turboca.APView{
+			ID: int(int8(u8())), // small range forces duplicates
+			Current: spectrum.Channel{
+				Band:   spectrum.Band(u8() % 3),
+				Number: int(u8()),
+				Width:  spectrum.Width(u8() % 6),
+				DFS:    u8()&1 == 1,
+			},
+			MaxWidth:    spectrum.Width(u8() % 6),
+			HasClients:  u8()&1 == 1,
+			CSAFraction: f64(),
+			Load:        f64(),
+			Utilization: f64(),
+			Stale:       u8()&1 == 1,
+			Pinned:      u8()&1 == 1,
+		}
+		for n := int(u8() % 4); n > 0; n-- {
+			v.Neighbors = append(v.Neighbors, int(int8(u8())))
+		}
+		for n := int(u8() % 3); n > 0; n-- {
+			if v.WidthLoad == nil {
+				v.WidthLoad = map[spectrum.Width]float64{}
+			}
+			v.WidthLoad[spectrum.Width(u8()%6)] = f64()
+		}
+		for n := int(u8() % 3); n > 0; n-- {
+			if v.ExternalUtil == nil {
+				v.ExternalUtil = map[int]float64{}
+			}
+			v.ExternalUtil[int(u8())] = f64()
+		}
+		in.APs = append(in.APs, v)
+	}
+	return in
+}
+
+// FuzzSanitize checks the planner's input-hardening contract on arbitrary
+// telemetry: Sanitize never panics, leaves the input satisfying every
+// documented invariant, is idempotent (a sanitized input needs zero
+// further corrections), and the repaired input plans without crashing.
+func FuzzSanitize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 2, 255, 0, 36, 3, 1, 1})
+	seed := make([]byte, 256)
+	r := rand.New(rand.NewSource(7))
+	for i := range seed {
+		seed[i] = byte(r.Intn(256))
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in := inputFromBytes(data)
+		if n := in.Sanitize(); n < 0 {
+			t.Fatalf("Sanitize returned negative fix count %d", n)
+		}
+		if n := in.Sanitize(); n != 0 {
+			t.Fatalf("Sanitize not idempotent: second pass applied %d fixes\n%+v", n, in)
+		}
+		seen := map[int]bool{}
+		for i := range in.APs {
+			v := &in.APs[i]
+			if seen[v.ID] {
+				t.Fatalf("duplicate AP ID %d survived", v.ID)
+			}
+			seen[v.ID] = true
+			if math.IsNaN(v.Load) || v.Load < 0 || v.Load > 64 {
+				t.Fatalf("AP %d load %v out of [0,64]", v.ID, v.Load)
+			}
+			if math.IsNaN(v.Utilization) || v.Utilization < 0 || v.Utilization > 1 {
+				t.Fatalf("AP %d utilization %v out of [0,1]", v.ID, v.Utilization)
+			}
+			if math.IsNaN(v.CSAFraction) || v.CSAFraction < 0 || v.CSAFraction > 1 {
+				t.Fatalf("AP %d CSA fraction %v out of [0,1]", v.ID, v.CSAFraction)
+			}
+			if !v.MaxWidth.Valid() {
+				t.Fatalf("AP %d invalid max width %v", v.ID, v.MaxWidth)
+			}
+			if v.Current.Width.Valid() && v.Current.Band != in.Band {
+				t.Fatalf("AP %d off-band current channel %v survived", v.ID, v.Current)
+			}
+			if len(v.WidthLoad) == 0 {
+				t.Fatalf("AP %d empty width-load mix", v.ID)
+			}
+			for w, s := range v.WidthLoad {
+				if !w.Valid() || math.IsNaN(s) || math.IsInf(s, 0) || s <= 0 {
+					t.Fatalf("AP %d width-load entry %v=%v survived", v.ID, w, s)
+				}
+			}
+			for ch, u := range v.ExternalUtil {
+				if math.IsNaN(u) || u < 0 || u > 1 {
+					t.Fatalf("AP %d external util ch%d=%v out of [0,1]", v.ID, ch, u)
+				}
+			}
+		}
+		for i := range in.APs {
+			for _, id := range in.APs[i].Neighbors {
+				if id == in.APs[i].ID {
+					t.Fatalf("AP %d self-loop neighbor survived", id)
+				}
+				if !seen[id] {
+					t.Fatalf("AP %d dangling neighbor %d survived", in.APs[i].ID, id)
+				}
+			}
+		}
+		// A sanitized input must plan without crashing; keep it cheap.
+		if len(in.APs) <= 8 {
+			cfg := turboca.DefaultConfig()
+			cfg.Runs = 1
+			cfg.Workers = 1
+			cfg.Obs = obs.NewRegistry().Scope("turboca")
+			turboca.RunNBO(cfg, in, rand.New(rand.NewSource(1)), []int{0})
+		}
+	})
+}

@@ -13,6 +13,7 @@ package turboca
 import (
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/spectrum"
 )
 
@@ -107,6 +108,11 @@ type Config struct {
 	// for any worker count: every round draws from its own RNG stream
 	// derived from (seed, hop level, round index).
 	Workers int
+	// Obs, when non-nil, redirects the planner's metrics (pass/hop-level
+	// timings, NetP trajectory, accept/reject counters — see obs.go) to a
+	// private scope instead of the process-wide default registry. Tests
+	// use this for isolated, deterministic snapshots.
+	Obs *obs.Scope
 }
 
 // DefaultConfig returns production-like tunables.
@@ -237,13 +243,18 @@ func newPlanner(cfg Config, in Input) *planner {
 				p.neigh[i] = append(p.neigh[i], j)
 			}
 		}
+		// Sum in fixed width order, not map order: float addition is not
+		// associative, and a map-order sum makes two planners built from
+		// the same input disagree in the low bits of every NetP.
 		total := 0.0
-		for _, s := range v.WidthLoad {
-			total += s
+		for _, w := range spectrum.Widths {
+			total += v.WidthLoad[w]
 		}
 		if total > 0 {
-			for w, s := range v.WidthLoad {
-				p.loadShare[i][widthSlot(w)] += s / total
+			for _, w := range spectrum.Widths {
+				if s := v.WidthLoad[w]; s > 0 {
+					p.loadShare[i][widthSlot(w)] += s / total
+				}
 			}
 		} else {
 			p.loadShare[i][0] = 1

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/spectrum"
 )
@@ -254,6 +255,15 @@ func RunNBO(cfg Config, in Input, rng *rand.Rand, hops []int) Result {
 // runNBO is RunNBO plus a test hook: onLevel, when non-nil, observes the
 // working incumbent after each hop level's adoption step.
 func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop int, incumbent []chanIdx)) Result {
+	m := cfg.metrics()
+	sp := cfg.obsRegistry().Tracer().Begin("turboca.pass")
+	passStart := time.Now()
+	defer func() {
+		m.passUS.Observe(time.Since(passStart).Microseconds())
+		sp.End()
+	}()
+	m.passes.Inc()
+
 	p := newPlanner(cfg, in)
 	runs := cfg.Runs
 	if runs <= 0 {
@@ -285,6 +295,7 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 		assign []chanIdx
 	}
 	for li, h := range hops {
+		levelStart := time.Now()
 		out := make([]roundOut, runs)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -302,15 +313,23 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 		wg.Wait()
 
 		// Deterministic reduction: accept-if-better in round order, exactly
-		// as the serial loop would.
+		// as the serial loop would. Metrics are recorded here, on the
+		// serial path, so the NetP trajectory histogram sees every round's
+		// score in a scheduling-independent multiset.
 		for _, ro := range out {
 			rounds++
+			m.rounds.Inc()
+			m.netpRound.Observe(milliNetP(ro.score))
 			if ro.score > bestScore {
 				bestScore = ro.score
 				bestAssign = ro.assign
 				improved = true
+				m.roundsAccepted.Inc()
+			} else {
+				m.roundsRejected.Inc()
 			}
 		}
+		m.levelUS.Observe(time.Since(levelStart).Microseconds())
 
 		// Refinement (§4.4.4): adopt the best plan so far as the working
 		// incumbent, so the next hop level's rounds plan against it — the
@@ -346,5 +365,7 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 			res.Switches++
 		}
 	}
+	m.netpBest.Set(milliNetP(bestScore))
+	m.switchesDone.Add(int64(res.Switches))
 	return res
 }

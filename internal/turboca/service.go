@@ -117,6 +117,8 @@ func (s *Service) Stop() {
 // callbacks, and every plan are deterministic. Duplicate Bands entries are
 // planned once per invocation.
 func (s *Service) RunOnce(hops []int) {
+	sp := s.Cfg.obsRegistry().Tracer().Begin("turboca.run_once")
+	defer sp.End()
 	type job struct {
 		band spectrum.Band
 		in   Input
