@@ -10,8 +10,9 @@ GO ?= go
 
 # Packages whose statement coverage must stay at or above COVER_FLOOR:
 # the TCP packet path, where a silent regression corrupts traffic rather
-# than failing a build.
-COVER_PKGS  = ./internal/fastack ./internal/tcpstack ./internal/packet
+# than failing a build, plus the shared telemetry store and the fleet
+# control plane, whose determinism contracts live in their tests.
+COVER_PKGS  = ./internal/fastack ./internal/tcpstack ./internal/packet ./internal/littletable ./internal/fleetd
 COVER_FLOOR = 75
 
 # Seconds of random exploration per fuzz target in the smoke pass. The

@@ -15,7 +15,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -28,7 +30,22 @@ func main() {
 	durFlag := flag.Duration("duration", 0, "simulated duration per run (default depends on experiment)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	pcapPath := flag.String("pcap", "", "write the first run's wired-port traffic to this pcap file")
+	metricsAddr := flag.String("metrics", "", "serve metrics JSON (/metrics), text (/metrics.txt), span traces (/trace), and net/http/pprof on this address (e.g. localhost:6060) while the experiments run")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		reg.EnableTracing(4096, func() int64 { return time.Now().UnixNano() })
+		srv, errc := obs.Serve(*metricsAddr, reg)
+		defer srv.Close()
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
+	}
 
 	if *pcapPath != "" {
 		f, err := os.Create(*pcapPath)
@@ -65,6 +82,11 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "unknown experiment:", *exp)
 		os.Exit(2)
+	}
+
+	if reg != nil {
+		fmt.Println("--- metrics ---")
+		_, _ = reg.Snapshot().WriteText(os.Stdout)
 	}
 }
 

@@ -9,8 +9,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/spectrum"
 	"repro/internal/stats"
 )
@@ -19,7 +22,22 @@ func main() {
 	networks := flag.Int("networks", 1500, "number of synthesized networks")
 	clients := flag.Int("clients", 200000, "clients sampled for the capability study")
 	seed := flag.Int64("seed", 2017, "synthesis seed")
+	metricsAddr := flag.String("metrics", "", "serve metrics JSON (/metrics), text (/metrics.txt), span traces (/trace), and net/http/pprof on this address (e.g. localhost:6060) while the report generates")
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		reg.EnableTracing(4096, func() int64 { return time.Now().UnixNano() })
+		srv, errc := obs.Serve(*metricsAddr, reg)
+		defer srv.Close()
+		go func() {
+			if err := <-errc; err != nil {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics (pprof under /debug/pprof/)\n", *metricsAddr)
+	}
 
 	f := fleet.Generate(fleet.Options{Seed: *seed, Networks: *networks})
 	fmt.Printf("fleet: %d networks, %d APs (%d networks with >=10 APs)\n\n",
@@ -31,6 +49,11 @@ func main() {
 	density(f)
 	table1(f)
 	fig5(f)
+
+	if reg != nil {
+		fmt.Println("--- metrics ---")
+		_, _ = reg.Snapshot().WriteText(os.Stdout)
+	}
 }
 
 func fig1(nClients int, seed int64) {

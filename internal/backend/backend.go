@@ -261,15 +261,24 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 
 // Start registers the poll, planning, and reconciliation schedules.
 func (b *Backend) Start() {
-	b.Engine.Ticker(b.Opt.PollInterval, func(e *sim.Engine) { b.Poll() })
-
-	b.startRadar()
+	b.StartManaged()
 	switch b.Opt.Algorithm {
 	case AlgTurboCA:
 		b.Service.Start(b.Engine)
 	case AlgReservedCA:
 		b.Engine.Ticker(b.Opt.ReservedCAInterval, func(e *sim.Engine) { b.runReservedCA() })
 	}
+}
+
+// StartManaged registers the statistics, radar, and reconciliation
+// schedules but NOT the planning cadence: the caller owns when planning
+// passes run, invoking Service.RunOnce (or runReservedCA via Start)
+// explicitly. This is the entry point for an external scheduler —
+// internal/fleetd drives thousands of these per process off one
+// fleet-wide priority cadence heap.
+func (b *Backend) StartManaged() {
+	b.Engine.Ticker(b.Opt.PollInterval, func(e *sim.Engine) { b.Poll() })
+	b.startRadar()
 	if b.Opt.Algorithm != AlgNone {
 		b.Engine.Ticker(b.Opt.ReconcileInterval, func(e *sim.Engine) { b.Reconcile() })
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/littletable"
 	"repro/internal/sim"
 	"repro/internal/topo"
 )
@@ -132,12 +133,16 @@ func (b *Backend) ingest(s polledSample) {
 		"clients": s.clients,
 	})
 	b.DB.Table("utilization").InsertValue(key, s.at, "util", s.util)
-	lat := b.DB.Table("tcp_latency")
-	eff := b.DB.Table("bitrate_eff")
+	// The per-transmission samples land as one batch per table: one lock
+	// round-trip for the AP's whole sample set instead of one per sample.
+	latRows := make([]littletable.Row, len(s.latencies))
+	effRows := make([]littletable.Row, len(s.effs))
 	for i := range s.latencies {
-		lat.InsertValue(key, s.at, "ms", s.latencies[i])
-		eff.InsertValue(key, s.at, "eff", s.effs[i])
+		latRows[i] = littletable.Row{At: s.at, Fields: map[string]float64{"ms": s.latencies[i]}}
+		effRows[i] = littletable.Row{At: s.at, Fields: map[string]float64{"eff": s.effs[i]}}
 	}
+	b.DB.Table("tcp_latency").InsertBatch(key, latRows)
+	b.DB.Table("bitrate_eff").InsertBatch(key, effRows)
 	// A delayed report may arrive after a fresher one already landed;
 	// last-known-good is ordered by sample time, not delivery time.
 	if rep, ok := b.reports[s.ap.ID]; !ok || s.at >= rep.At {

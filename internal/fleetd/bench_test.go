@@ -1,0 +1,32 @@
+package fleetd
+
+import (
+	"testing"
+
+	"repro/internal/fleet"
+	"repro/internal/sim"
+)
+
+// BenchmarkFleetd1000Networks measures one full i=0 fleet pass: every
+// network of a 1000-network synthetic fleet polls, plans, and ingests
+// telemetry over one 15-minute cadence window. Deeper cadences are
+// disabled so each iteration is exactly one fleet-wide i=0 sweep.
+func BenchmarkFleetd1000Networks(b *testing.B) {
+	f := fleet.Generate(fleet.Options{Seed: 20170811, Networks: 1000})
+	c := New(Config{Seed: 1, Fast: 15 * sim.Minute, Mid: -1, Deep: -1})
+	c.AddFleet(f)
+	aps := 0
+	for _, n := range f.Networks {
+		aps += len(n.APs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(15 * sim.Minute)
+		if got := int(c.met.passesRun[levelFast].Value()); got != 1000*(i+1) {
+			b.Fatalf("iteration %d: %d i=0 passes, want %d", i, got, 1000*(i+1))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(aps), "aps")
+	b.ReportMetric(float64(c.met.ingestRows.Value())/float64(b.N), "rows/op")
+}

@@ -1,0 +1,509 @@
+// Package fleetd is the fleet control plane: one process driving
+// thousands of networks, each with its own deterministic control plane —
+// the production shape of the paper's system, where TurboCA runs
+// centrally over the whole Meraki fleet (§4.4.4) rather than per site.
+//
+// The architecture has four moving parts:
+//
+//   - A sharded registry of per-network control planes. Each network
+//     wraps today's backend.Backend — private simulation engine, private
+//     telemetry store, private RNG streams, optionally a private chaos
+//     profile — built from a seed derived from (controller seed, network
+//     ID) alone.
+//
+//   - A priority cadence scheduler: a deadline min-heap with one entry
+//     per (network, cadence level), honoring the paper's multi-cadence
+//     schedule (i=0 every 15 min, i=1 every 3 h, i=2 daily). Ties on a
+//     deadline resolve in ascending network-ID order; when a tick's due
+//     passes exceed the configured budget, deep passes shed first (i=2,
+//     then i=1, then i=0) — the same "don't do expensive work under
+//     pressure" policy as the backend's MaxStaleFraction degradation.
+//
+//   - A bounded worker pool that executes one tick's surviving passes
+//     concurrently. Networks are mutually independent, so parallel
+//     execution cannot perturb results: a fleet snapshot is byte-identical
+//     for any -shards/-workers setting.
+//
+//   - Batched telemetry ingest: each pass emits its network's telemetry
+//     as row batches that land in a shared littletable.DB via
+//     Table.InsertBatch (one lock round-trip per network per table), in
+//     ascending network-ID order at the tick barrier. Fleet-wide
+//     aggregation (Snapshot) then runs Section 3-style percentile queries
+//     across networks over that store.
+package fleetd
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/fleet"
+	"repro/internal/littletable"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+	"repro/internal/topo"
+	"repro/internal/turboca"
+)
+
+// Config sizes and parameterizes a Controller.
+type Config struct {
+	// Seed anchors every per-network derivation (scenario synthesis,
+	// engine, backend, chaos). Two controllers with equal Seed and equal
+	// network sets produce byte-identical snapshots.
+	Seed int64
+	// Shards partitions the network registry (default 8). Sharding
+	// bounds registry lock contention; it never affects results.
+	Shards int
+	// Workers bounds concurrently executing passes (default GOMAXPROCS).
+	// Results are identical for any value.
+	Workers int
+	// Fast, Mid, Deep are the default cadences for the three pass levels
+	// (defaults 15 min, 3 h, 24 h; the §4.4.4 schedule). Negative
+	// disables a level fleet-wide.
+	Fast, Mid, Deep sim.Time
+	// MaxPassesPerTick is the overload budget: when more passes share a
+	// deadline tick than this, the excess is shed, deepest level first.
+	// 0 means unlimited.
+	MaxPassesPerTick int
+	// Backend is the per-network control-plane template. Seed is
+	// overridden per network; a non-nil Faults profile is cloned with a
+	// per-network seed; Obs is ignored (each network keeps a private
+	// registry so its Control() deltas stay exact). Zero value means
+	// backend defaults with AlgTurboCA.
+	Backend backend.Options
+	// Obs receives the controller's own "fleetd" scope (default
+	// obs.Default()).
+	Obs *obs.Registry
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Fast == 0 {
+		c.Fast = 15 * sim.Minute
+	}
+	if c.Mid == 0 {
+		c.Mid = 3 * sim.Hour
+	}
+	if c.Deep == 0 {
+		c.Deep = 24 * sim.Hour
+	}
+	if c.Backend.Algorithm == backend.AlgNone {
+		// An all-zero template means "production defaults" (TurboCA, DFS
+		// admitted, paper cadences), not "no algorithm".
+		c.Backend = backend.DefaultOptions(backend.AlgTurboCA)
+	}
+	if c.Backend.Planner.MetricFloor == 0 {
+		c.Backend.Planner = turboca.DefaultConfig()
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Default()
+	}
+	return c
+}
+
+// NetOptions customizes one network's registration.
+type NetOptions struct {
+	// Fast, Mid, Deep override the controller's cadences for this
+	// network: 0 inherits, negative disables the level.
+	Fast, Mid, Deep sim.Time
+}
+
+// netState is one registered network's control plane plus its scheduling
+// accounting. The backend/engine/scenario are touched only by the single
+// worker executing this network's pass (ticks never run a network twice);
+// the accounting fields are written in the controller's serial tick
+// section.
+type netState struct {
+	id      int
+	key     string
+	cadence [numLevels]sim.Time // 0 = disabled
+	sc      *topo.Scenario
+	engine  *sim.Engine
+	be      *backend.Backend
+
+	passes    [numLevels]int
+	shed      [numLevels]int
+	coalesced int
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	nets map[int]*netState
+}
+
+func (s *shard) get(id int) *netState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nets[id]
+}
+
+// Controller drives a fleet of networks off one cadence scheduler.
+// Run, Add*, Remove, and Snapshot must be called from one goroutine (the
+// control loop); the worker pool is internal.
+type Controller struct {
+	cfg   Config
+	sh    []*shard
+	sched scheduler
+	now   sim.Time
+	db    *littletable.DB
+	met   *metrics
+}
+
+// New builds an empty controller; register networks with Add or AddFleet.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg, db: littletable.NewDB(), met: metricsOn(cfg.Obs)}
+	for i := 0; i < cfg.Shards; i++ {
+		c.sh = append(c.sh, &shard{nets: map[int]*netState{}})
+	}
+	return c
+}
+
+// DB exposes the shared fleet telemetry store for ad-hoc Section 3-style
+// queries.
+func (c *Controller) DB() *littletable.DB { return c.db }
+
+// Now returns the fleet clock.
+func (c *Controller) Now() sim.Time { return c.now }
+
+// Len returns the number of registered (non-removed) networks.
+func (c *Controller) Len() int {
+	n := 0
+	for _, s := range c.sh {
+		s.mu.RLock()
+		n += len(s.nets)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// shardFor maps a network ID to its shard.
+func (c *Controller) shardFor(id int) *shard { return c.sh[id%len(c.sh)] }
+
+// netSeed derives a network's seed from the controller seed and the
+// network ID alone (splitmix64-style), so registration order, shard
+// count, and worker count cannot perturb any network's behavior.
+func netSeed(seed int64, id int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(id+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// AddFleet registers every network of a synthesized fleet, constructing
+// the per-network control planes on the worker pool (construction is
+// per-network deterministic, so parallelism is safe) and seeding their
+// cadence deadlines serially in ID order.
+func (c *Controller) AddFleet(f *fleet.Fleet) {
+	states := make([]*netState, len(f.Networks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.cfg.Workers)
+	for i, n := range f.Networks {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, n *fleet.Network) {
+			defer func() { <-sem; wg.Done() }()
+			states[i] = c.buildNet(n, NetOptions{})
+		}(i, n)
+	}
+	wg.Wait()
+	for _, ns := range states {
+		c.register(ns)
+	}
+}
+
+// Add registers one network with optional per-network cadence overrides.
+func (c *Controller) Add(n *fleet.Network, opt NetOptions) {
+	c.register(c.buildNet(n, opt))
+}
+
+// buildNet constructs a network's control plane: scenario, engine,
+// backend, chaos clone — everything derived from netSeed.
+func (c *Controller) buildNet(n *fleet.Network, opt NetOptions) *netState {
+	seed := netSeed(c.cfg.Seed, n.ID)
+	sc := buildScenario(n, seed)
+	engine := sim.NewEngine(seed ^ 0x0e1f)
+	bopt := c.cfg.Backend
+	bopt.Seed = seed
+	bopt.Obs = nil // private registry: exact per-network Control() deltas
+	bopt.Planner.Obs = nil
+	if bopt.Faults != nil {
+		prof := *bopt.Faults
+		prof.Seed = seed ^ 0xfa17
+		bopt.Faults = &prof
+	}
+	ns := &netState{
+		id:     n.ID,
+		key:    netKey(n.ID),
+		sc:     sc,
+		engine: engine,
+		be:     backend.New(bopt, sc, engine),
+	}
+	ns.cadence[levelFast] = resolveCadence(opt.Fast, c.cfg.Fast)
+	ns.cadence[levelMid] = resolveCadence(opt.Mid, c.cfg.Mid)
+	ns.cadence[levelDeep] = resolveCadence(opt.Deep, c.cfg.Deep)
+	ns.be.StartManaged()
+	return ns
+}
+
+func resolveCadence(override, def sim.Time) sim.Time {
+	v := def
+	if override != 0 {
+		v = override
+	}
+	if v < 0 {
+		return 0 // disabled
+	}
+	return v
+}
+
+// register inserts the network and seeds its deadlines at now+cadence.
+func (c *Controller) register(ns *netState) {
+	sh := c.shardFor(ns.id)
+	sh.mu.Lock()
+	sh.nets[ns.id] = ns
+	sh.mu.Unlock()
+	c.met.networks.Add(1)
+	for level, period := range ns.cadence {
+		if period > 0 {
+			c.sched.push(passEntry{at: c.now + period, id: ns.id, level: level})
+		}
+	}
+}
+
+// Remove deregisters a network. It never fires again: its pending heap
+// entries are dropped immediately, and any entry that survives (e.g.
+// pushed by a concurrent reschedule) is discarded on pop. Returns false
+// if the network is unknown.
+func (c *Controller) Remove(id int) bool {
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.nets[id]
+	delete(sh.nets, id)
+	sh.mu.Unlock()
+	if !ok {
+		return false
+	}
+	c.met.networks.Add(-1)
+	c.met.removedDropped.Add(int64(c.sched.dropNetwork(id)))
+	return true
+}
+
+// passJob is one network's work at a tick: the deepest due level plus
+// every shallower level it subsumes.
+type passJob struct {
+	ns     *netState
+	level  int   // deepest due level; its hop schedule runs
+	levels []int // all due levels (deepest included), for rescheduling
+}
+
+// passResult is what a worker brings back to the serial ingest section.
+type passResult struct {
+	apRows   []littletable.Row
+	passRow  littletable.Row
+	logNetP5 float64
+}
+
+// Run advances the fleet clock by d, executing every scheduled pass that
+// falls due. Between ticks the per-network engines advance lazily (a
+// network's engine only moves when it has a pass); at the end of Run all
+// engines are synced to the final clock so polls, retries, and
+// reconciliation catch up and a Snapshot reflects one instant.
+func (c *Controller) Run(d sim.Time) {
+	end := c.now + d
+	for {
+		t, due := c.sched.popDue(end)
+		if due == nil {
+			break
+		}
+		c.now = t
+		c.runTick(t, due)
+	}
+	c.now = end
+	c.syncEngines(end)
+}
+
+// runTick resolves one deadline instant: group due entries per network
+// (deepest level wins, shallower ones coalesce into it), shed the excess
+// beyond the pass budget deepest-first, execute survivors on the worker
+// pool, then ingest their telemetry and reschedule — both in ascending
+// network-ID order.
+func (c *Controller) runTick(t sim.Time, due []passEntry) {
+	c.met.duePerTick.Observe(int64(len(due)))
+
+	// Group per network. due is sorted by (id, level), so one linear scan
+	// builds jobs in ascending ID order with levels ascending within.
+	var jobs []*passJob
+	for _, e := range due {
+		ns := c.shardFor(e.id).get(e.id)
+		if ns == nil {
+			// Removed after this entry was pushed: drop, never reschedule.
+			c.met.removedDropped.Inc()
+			continue
+		}
+		if len(jobs) > 0 && jobs[len(jobs)-1].ns == ns {
+			j := jobs[len(jobs)-1]
+			j.levels = append(j.levels, e.level)
+			if e.level > j.level {
+				j.level = e.level
+			}
+			j.ns.coalesced++
+			c.met.coalesced.Inc()
+			continue
+		}
+		jobs = append(jobs, &passJob{ns: ns, level: e.level, levels: []int{e.level}})
+	}
+
+	// Shed: keep the budget's worth of passes, preferring shallow levels
+	// and low IDs; everything past the budget is shed — which, by the
+	// sort order, sheds i=2 first, then i=1, then i=0.
+	run := jobs
+	var shed []*passJob
+	if b := c.cfg.MaxPassesPerTick; b > 0 && len(jobs) > b {
+		order := append([]*passJob(nil), jobs...)
+		sort.SliceStable(order, func(i, j int) bool {
+			if order[i].level != order[j].level {
+				return order[i].level < order[j].level
+			}
+			return order[i].ns.id < order[j].ns.id
+		})
+		run, shed = order[:b], order[b:]
+	}
+	c.met.shedPerTick.Observe(int64(len(shed)))
+	for _, j := range shed {
+		j.ns.shed[j.level]++
+		c.met.passesShed[j.level].Inc()
+	}
+
+	// Execute surviving passes on the bounded worker pool. Each job only
+	// touches its own network's state; results return by index.
+	results := make([]*passResult, len(run))
+	dispatched := time.Now()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.cfg.Workers)
+	for i, j := range run {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, j *passJob) {
+			defer func() { <-sem; wg.Done() }()
+			c.met.schedLagUS.Observe(time.Since(dispatched).Microseconds())
+			passStart := time.Now()
+			results[i] = c.executePass(t, j)
+			c.met.passUS.Observe(time.Since(passStart).Microseconds())
+		}(i, j)
+	}
+	wg.Wait()
+
+	// Serial section: account, batch-ingest, reschedule — in the jobs'
+	// (ascending-ID) order for run+shed alike, so the shared DB's
+	// contents and every counter are independent of worker interleaving.
+	ingestStart := time.Now()
+	byJob := map[*passJob]*passResult{}
+	for i, j := range run {
+		byJob[j] = results[i]
+	}
+	passTab := c.db.Table("fleet_pass")
+	apTab := c.db.Table("fleet_ap")
+	for _, j := range jobs {
+		res, ok := byJob[j]
+		if !ok || res == nil {
+			continue // shed this tick
+		}
+		j.ns.passes[j.level]++
+		c.met.passesRun[j.level].Inc()
+		passTab.InsertBatch(j.ns.key, []littletable.Row{res.passRow})
+		apTab.InsertBatch(j.ns.key, res.apRows)
+		c.met.ingestRows.Add(int64(1 + len(res.apRows)))
+	}
+	c.met.ingestUS.Observe(time.Since(ingestStart).Microseconds())
+	for _, j := range jobs {
+		for _, level := range j.levels {
+			if period := j.ns.cadence[level]; period > 0 {
+				c.sched.push(passEntry{at: t + period, id: j.ns.id, level: level})
+			}
+		}
+	}
+}
+
+// executePass advances one network's control plane to the tick instant
+// (running its polls, push retries, radar events, and reconciliation in
+// its private engine) and runs the planning pass for the job's level,
+// then snapshots the network's telemetry for ingest.
+func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
+	ns := j.ns
+	ns.engine.RunUntil(t)
+	ns.be.Service.RunOnce(levelHops[j.level])
+
+	logNetP5 := ns.be.Service.LastLogNetP[spectrum.Band5]
+	converged := 0.0
+	if ns.be.Converged() {
+		converged = 1
+	}
+	res := &passResult{
+		logNetP5: logNetP5,
+		passRow: littletable.Row{At: t, Fields: map[string]float64{
+			"lognetp5":  logNetP5,
+			"lognetp24": ns.be.Service.LastLogNetP[spectrum.Band2G4],
+			"switches":  float64(ns.be.Switches()),
+			"converged": converged,
+			"level":     float64(j.level),
+			"degraded":  float64(ns.be.Service.DegradedTotal),
+		}},
+	}
+	perf := ns.be.Model.Evaluate(t)
+	res.apRows = make([]littletable.Row, 0, len(ns.sc.APs))
+	for _, ap := range ns.sc.APs {
+		p := perf[ap.ID]
+		res.apRows = append(res.apRows, littletable.Row{At: t, Fields: map[string]float64{
+			"ap":     float64(ap.ID),
+			"util":   p.Utilization,
+			"served": p.ServedMbps,
+			"demand": p.DemandMbps,
+		}})
+	}
+	return res
+}
+
+// syncEngines advances every network's engine to the fleet clock on the
+// worker pool (each engine is private to its network).
+func (c *Controller) syncEngines(t sim.Time) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.cfg.Workers)
+	for _, s := range c.sh {
+		s.mu.RLock()
+		for _, ns := range s.nets {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ns *netState) {
+				defer func() { <-sem; wg.Done() }()
+				ns.engine.RunUntil(t)
+			}(ns)
+		}
+		s.mu.RUnlock()
+	}
+	wg.Wait()
+}
+
+// nets returns every registered network sorted by ID — the canonical
+// iteration order for snapshots.
+func (c *Controller) nets() []*netState {
+	var out []*netState
+	for _, s := range c.sh {
+		s.mu.RLock()
+		for _, ns := range s.nets {
+			out = append(out, ns)
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

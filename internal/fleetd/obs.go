@@ -1,0 +1,56 @@
+package fleetd
+
+import "repro/internal/obs"
+
+// Controller observability (scope "fleetd"):
+//
+//	fleetd.networks          registered (non-removed) networks
+//	fleetd.passes_i{0,1,2}   planning passes executed, by cadence level
+//	fleetd.shed_i{0,1,2}     passes shed under overload, by level
+//	fleetd.coalesced         shallower passes subsumed by a deeper pass
+//	                         due at the same tick (the §4.4.4 schedule
+//	                         composition: every deep pass ends in i=0)
+//	fleetd.removed_dropped   heap entries dropped because their network
+//	                         was removed
+//	fleetd.ingest_rows       telemetry rows batch-ingested into the
+//	                         shared fleet DB
+//	fleetd.due_per_tick      passes due at one scheduler tick
+//	fleetd.shed_per_tick     passes shed at one scheduler tick
+//	fleetd.sched_lag_us      wall µs a dispatched pass waited for a
+//	                         worker (scheduler lag under load)
+//	fleetd.pass_us           wall µs per executed pass (engine advance +
+//	                         planning + telemetry collection)
+//	fleetd.ingest_us         wall µs per per-tick batched ingest section
+type metrics struct {
+	networks       *obs.Gauge
+	passesRun      [numLevels]*obs.Counter
+	passesShed     [numLevels]*obs.Counter
+	coalesced      *obs.Counter
+	removedDropped *obs.Counter
+	ingestRows     *obs.Counter
+	duePerTick     *obs.Histogram
+	shedPerTick    *obs.Histogram
+	schedLagUS     *obs.Histogram
+	passUS         *obs.Histogram
+	ingestUS       *obs.Histogram
+}
+
+func metricsOn(reg *obs.Registry) *metrics {
+	s := reg.Scope("fleetd")
+	m := &metrics{
+		networks:       s.Gauge("networks"),
+		coalesced:      s.Counter("coalesced"),
+		removedDropped: s.Counter("removed_dropped"),
+		ingestRows:     s.Counter("ingest_rows"),
+		duePerTick:     s.Histogram("due_per_tick", "passes"),
+		shedPerTick:    s.Histogram("shed_per_tick", "passes"),
+		schedLagUS:     s.Histogram("sched_lag_us", "µs"),
+		passUS:         s.Histogram("pass_us", "µs"),
+		ingestUS:       s.Histogram("ingest_us", "µs"),
+	}
+	for level := 0; level < numLevels; level++ {
+		m.passesRun[level] = s.Counter("passes_" + levelName(level))
+		m.passesShed[level] = s.Counter("shed_" + levelName(level))
+	}
+	return m
+}

@@ -9,6 +9,7 @@ package littletable
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/sim"
@@ -39,7 +40,17 @@ func (s *series) ensureSorted() {
 }
 
 // Table holds the series of every key within one logical table.
+//
+// A Table is safe for concurrent use: every accessor takes the table
+// lock. Single-writer callers (one simulation engine feeding one DB) pay
+// an uncontended mutex; multi-writer callers — internal/fleetd's worker
+// pool ingesting per-network telemetry into one shared DB — should
+// prefer InsertBatch, which amortizes the lock, the sort check, the
+// retention pass, and the store metrics over a whole batch of rows.
+// Slices returned by read methods (Range, Latest) alias internal storage
+// and are only stable until the next insert for that key.
 type Table struct {
+	mu     sync.Mutex
 	name   string
 	byKey  map[string]*series
 	nowRef func() sim.Time
@@ -62,8 +73,12 @@ type Table struct {
 // most pruneBatch rows past the window) and the amortized cost constant.
 const pruneBatch = 64
 
-// DB is a collection of named tables.
+// DB is a collection of named tables. Table lookup and the retention
+// setting are guarded by the DB lock, so independent goroutines (e.g. the
+// fleetd ingest path) may resolve tables concurrently; row access is
+// guarded per table.
 type DB struct {
+	mu        sync.RWMutex
 	tables    map[string]*Table
 	retention sim.Time
 }
@@ -75,23 +90,41 @@ func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
 // (newest insert - window) are pruned during inserts. Zero or negative
 // disables retention. The window applies to tables created before or
 // after the call.
-func (db *DB) SetRetention(window sim.Time) { db.retention = window }
+func (db *DB) SetRetention(window sim.Time) {
+	db.mu.Lock()
+	db.retention = window
+	db.mu.Unlock()
+}
 
 // Retention returns the configured trailing window (0 = unlimited).
-func (db *DB) Retention() sim.Time { return db.retention }
+func (db *DB) Retention() sim.Time {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.retention
+}
 
 // Table returns (creating if needed) the named table.
 func (db *DB) Table(name string) *Table {
+	db.mu.RLock()
 	t, ok := db.tables[name]
-	if !ok {
-		t = &Table{name: name, byKey: map[string]*series{}, db: db}
-		db.tables[name] = t
+	db.mu.RUnlock()
+	if ok {
+		return t
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok = db.tables[name]; ok {
+		return t
+	}
+	t = &Table{name: name, byKey: map[string]*series{}, db: db}
+	db.tables[name] = t
 	return t
 }
 
 // TableNames returns all table names in sorted order.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -107,25 +140,79 @@ func (t *Table) Insert(key string, at sim.Time, fields map[string]float64) {
 	start := time.Now()
 	defer func() { obsm.insertNS.Observe(time.Since(start).Nanoseconds()) }()
 	obsm.rowsInserted.Inc()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.appendLocked(key, []Row{{At: at, Fields: fields}})
+	t.maybePruneLocked(1)
+}
+
+// InsertBatch appends a batch of rows for key, taking the table lock once
+// and deferring the sort check, the amortized retention pass, and the
+// store metrics to a single pass over the batch. This is the bulk-ingest
+// path: a poller delivering one AP's whole sample set, or fleetd draining
+// a network's per-pass telemetry into the shared fleet DB, pays one lock
+// round-trip instead of len(rows).
+//
+// Rows need not be sorted among themselves or against existing rows;
+// disorder is detected here and repaired lazily on the next read, exactly
+// as for Insert.
+func (t *Table) InsertBatch(key string, rows []Row) {
+	if len(rows) == 0 {
+		return
+	}
+	start := time.Now()
+	defer func() { obsm.insertNS.Observe(time.Since(start).Nanoseconds()) }()
+	obsm.rowsInserted.Add(int64(len(rows)))
+	obsm.batchRows.Observe(int64(len(rows)))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.appendLocked(key, rows)
+	t.maybePruneLocked(len(rows))
+}
+
+// appendLocked appends rows to key's series, maintaining the unsorted
+// flag and the table's newest-timestamp watermark. Caller holds t.mu.
+func (t *Table) appendLocked(key string, rows []Row) {
 	s, ok := t.byKey[key]
 	if !ok {
 		s = &series{}
 		t.byKey[key] = s
 	}
-	if n := len(s.rows); n > 0 && s.rows[n-1].At > at {
-		s.unsorted = true
+	last := sim.Time(0)
+	if n := len(s.rows); n > 0 {
+		last = s.rows[n-1].At
+	} else if len(rows) > 0 {
+		last = rows[0].At
 	}
-	s.rows = append(s.rows, Row{At: at, Fields: fields})
-	if at > t.maxAt {
-		t.maxAt = at
+	for _, r := range rows {
+		if r.At < last {
+			s.unsorted = true
+		} else {
+			last = r.At
+		}
+		if r.At > t.maxAt {
+			t.maxAt = r.At
+		}
 	}
-	if t.db != nil && t.db.retention > 0 {
-		t.sincePrune++
-		if t.sincePrune >= pruneBatch {
-			t.sincePrune = 0
-			if cutoff := t.maxAt - t.db.retention; cutoff > 0 {
-				t.Trim(cutoff)
-			}
+	s.rows = append(s.rows, rows...)
+}
+
+// maybePruneLocked advances the amortized-retention counter by n inserts
+// and runs a trim pass when the batch threshold is crossed. Caller holds
+// t.mu.
+func (t *Table) maybePruneLocked(n int) {
+	if t.db == nil {
+		return
+	}
+	retention := t.db.Retention()
+	if retention <= 0 {
+		return
+	}
+	t.sincePrune += n
+	if t.sincePrune >= pruneBatch {
+		t.sincePrune = 0
+		if cutoff := t.maxAt - retention; cutoff > 0 {
+			t.trimLocked(cutoff)
 		}
 	}
 }
@@ -137,6 +224,8 @@ func (t *Table) InsertValue(key string, at sim.Time, field string, v float64) {
 
 // Keys returns every key with at least one row, sorted.
 func (t *Table) Keys() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]string, 0, len(t.byKey))
 	for k := range t.byKey {
 		out = append(out, k)
@@ -147,6 +236,8 @@ func (t *Table) Keys() []string {
 
 // Len returns the number of rows stored for key.
 func (t *Table) Len(key string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if s, ok := t.byKey[key]; ok {
 		return len(s.rows)
 	}
@@ -154,10 +245,13 @@ func (t *Table) Len(key string) int {
 }
 
 // Range returns the rows for key with from <= At < to, in time order. The
-// returned slice aliases internal storage and must not be modified.
+// returned slice aliases internal storage and must not be modified; it is
+// stable only until the next insert for the same key.
 func (t *Table) Range(key string, from, to sim.Time) []Row {
 	start := time.Now()
 	defer func() { obsm.queryNS.Observe(time.Since(start).Nanoseconds()) }()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	s, ok := t.byKey[key]
 	if !ok {
 		return nil
@@ -170,6 +264,8 @@ func (t *Table) Range(key string, from, to sim.Time) []Row {
 
 // Latest returns the most recent row for key.
 func (t *Table) Latest(key string) (Row, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	s, ok := t.byKey[key]
 	if !ok || len(s.rows) == 0 {
 		return Row{}, false
@@ -250,6 +346,12 @@ func (t *Table) SumField(field string, from, to sim.Time) float64 {
 
 // Trim discards rows older than cutoff for all keys (retention).
 func (t *Table) Trim(cutoff sim.Time) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trimLocked(cutoff)
+}
+
+func (t *Table) trimLocked(cutoff sim.Time) int {
 	removed := 0
 	for _, s := range t.byKey {
 		s.ensureSorted()
@@ -266,6 +368,8 @@ func (t *Table) Trim(cutoff sim.Time) int {
 }
 
 func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	rows := 0
 	for _, s := range t.byKey {
 		rows += len(s.rows)

@@ -9,8 +9,9 @@ import (
 //
 //	littletable.rows_inserted  rows appended across all tables
 //	littletable.rows_pruned    rows discarded by retention trimming
-//	littletable.insert_ns      wall ns per Insert (including any amortized
-//	                           retention pass it triggered)
+//	littletable.insert_ns      wall ns per Insert/InsertBatch call
+//	                           (including any amortized retention pass)
+//	littletable.batch_rows     rows per InsertBatch call
 //	littletable.query_ns       wall ns per Range scan
 var obsm = func() *storeMetrics {
 	s := obs.Default().Scope("littletable")
@@ -18,6 +19,7 @@ var obsm = func() *storeMetrics {
 		rowsInserted: s.Counter("rows_inserted"),
 		rowsPruned:   s.Counter("rows_pruned"),
 		insertNS:     s.Histogram("insert_ns", "ns"),
+		batchRows:    s.Histogram("batch_rows", "rows"),
 		queryNS:      s.Histogram("query_ns", "ns"),
 	}
 }()
@@ -26,5 +28,6 @@ type storeMetrics struct {
 	rowsInserted *obs.Counter
 	rowsPruned   *obs.Counter
 	insertNS     *obs.Histogram
+	batchRows    *obs.Histogram
 	queryNS      *obs.Histogram
 }
