@@ -5,7 +5,15 @@
 // Usage:
 //
 //	fastackbench -experiment=throughput -clients=5,10,15,20,25,30 -duration=12s
-//	fastackbench -experiment=latency|aggregation|fairness|multiap|cwnd
+//	fastackbench -experiment=latency|aggregation|fairness|multiap|cwnd|chaos
+//
+// The -chaos flag arms seeded data-path fault injection (wired loss,
+// reordering, duplication, corruption, block-ACK feedback bursts) and the
+// FastACK runtime invariant checker in every run of any experiment. The
+// chaos experiment sweeps seeds and reports guarded FastACK vs baseline
+// goodput alongside the fault and guard counters:
+//
+//	fastackbench -experiment=chaos -seeds=20 -seed=1
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fastack"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/pcap"
 	"repro/internal/sim"
@@ -29,6 +39,8 @@ func main() {
 	clientsFlag := flag.String("clients", "5,10,15,20,25,30", "comma-separated client counts")
 	durFlag := flag.Duration("duration", 0, "simulated duration per run (default depends on experiment)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.BoolVar(&chaosEnabled, "chaos", false, "inject seeded data-path chaos (faults.DataChaos) and arm FastACK runtime invariants in every run")
+	seeds := flag.Int("seeds", 10, "number of consecutive seeds for -experiment=chaos")
 	pcapPath := flag.String("pcap", "", "write the first run's wired-port traffic to this pcap file")
 	metricsAddr := flag.String("metrics", "", "serve metrics JSON (/metrics), text (/metrics.txt), span traces (/trace), and net/http/pprof on this address (e.g. localhost:6060) while the experiments run")
 	flag.Parse()
@@ -79,6 +91,8 @@ func main() {
 		runMultiAP(orDefault(dur, 12*sim.Second), *seed)
 	case "cwnd":
 		runCwnd(orDefault(dur, 8*sim.Second), *seed)
+	case "chaos":
+		runChaos(*seeds, orDefault(dur, 3*sim.Second), *seed)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown experiment:", *exp)
 		os.Exit(2)
@@ -112,12 +126,20 @@ func parseCounts(s string) ([]int, error) {
 // captureWriter, when set by -pcap, records the first run's wired traffic.
 var captureWriter *pcap.Writer
 
+// chaosEnabled, set by -chaos, applies seeded data-path faults and arms
+// the FastACK runtime invariant checker in every run.
+var chaosEnabled bool
+
 func run(mode testbed.Mode, clients int, dur sim.Time, seed int64, mutate func(*testbed.Options)) *testbed.Testbed {
 	opt := testbed.DefaultOptions()
 	opt.Seed = seed
 	opt.APModes = []testbed.Mode{mode}
 	opt.ClientsPerAP = clients
 	opt.BadHintRate = 0.015
+	if chaosEnabled {
+		opt.DataFaults = faults.DataChaos(seed)
+		opt.FastACK.CheckInvariants = true
+	}
 	if captureWriter != nil {
 		opt.Capture = captureWriter
 		captureWriter = nil // first run only
@@ -127,6 +149,11 @@ func run(mode testbed.Mode, clients int, dur sim.Time, seed int64, mutate func(*
 	}
 	tb := testbed.New(opt)
 	tb.Run(dur)
+	if opt.DataFaults != nil {
+		// Quiet drain tail so bypassed flows can settle their fast-ACK
+		// debt before counters are read.
+		tb.Engine.RunUntil(dur + 500*sim.Millisecond)
+	}
 	return tb
 }
 
@@ -233,6 +260,35 @@ func runMultiAP(dur sim.Time, seed int64) {
 			}
 		}
 		fmt.Printf("%18s %10.1f %10.1f %10.1f\n", tc.name, ap1, ap2, ap1+ap2)
+	}
+}
+
+// runChaos sweeps consecutive seeds of the data-path chaos profile and
+// reports baseline vs guarded-FastACK goodput with the injected-fault and
+// safety-guard counters. A non-zero viol or undrained column is a bug.
+func runChaos(seeds int, dur sim.Time, firstSeed int64) {
+	fmt.Println("# chaos: baseline vs guarded FastACK under seeded data-path faults (2 clients)")
+	fmt.Printf("%6s %10s %10s %7s %6s %6s %6s %5s %5s %5s %5s %6s\n",
+		"seed", "baseline", "fastack", "ratio", "drops", "corr", "badr", "susp", "byp", "drain", "viol", "undr")
+	wasChaos := chaosEnabled
+	chaosEnabled = true
+	defer func() { chaosEnabled = wasChaos }()
+	for s := firstSeed; s < firstSeed+int64(seeds); s++ {
+		base := aggregateMbps(run(testbed.Baseline, 2, dur, s, nil), dur)
+		tb := run(testbed.FastACK, 2, dur, s, nil)
+		fast := aggregateMbps(tb, dur)
+		var st fastack.Stats
+		for _, s := range tb.AgentStatsPerAP() {
+			st.GuardSuspects += s.GuardSuspects
+			st.GuardBypasses += s.GuardBypasses
+			st.GuardDrains += s.GuardDrains
+			st.InvariantViolations += s.InvariantViolations
+		}
+		fmt.Printf("%6d %10.1f %10.1f %7.3f %6d %6d %6d %5d %5d %5d %5d %6d\n",
+			s, base, fast, fast/base,
+			tb.Faults.WireDrops, tb.Faults.WireCorrupts, tb.Faults.BADrops,
+			st.GuardSuspects, st.GuardBypasses, st.GuardDrains,
+			st.InvariantViolations, tb.UndrainedBypassedFlows())
 	}
 }
 

@@ -46,6 +46,14 @@ type Config struct {
 	// state.
 	IdleExpiry sim.Time
 
+	// Guard tunes the per-flow safety state machine (guard.go). The zero
+	// value enables it with production defaults.
+	Guard GuardConfig
+	// CheckInvariants enables the runtime invariant checker
+	// (invariants.go): every violation counts into
+	// Stats().InvariantViolations and the bounded Violations() log.
+	CheckInvariants bool
+
 	// Ablation switches (benchmarked in bench_test.go; off in production).
 	//
 	// DisableSuppression forwards the client's duplicate TCP ACKs to the
@@ -75,15 +83,23 @@ type Stats struct {
 	FastAcksSent      int64
 	ClientAcksDropped int64
 	SpuriousDrops     int64 // case (i): retransmissions below seq_fack
+	SpuriousReacks    int64 // duplicate fast ACKs answering spurious retransmissions
 	ElevatedForwards  int64 // case (ii): end-to-end retransmissions
 	HolesDetected     int64 // case (iv): upstream losses
 	HoleDupAcksSent   int64
 	LocalRetransmits  int64
 	WirelessRedrives  int64 // cache re-injections after MAC drop
 	BadHints          int64 // client dup-ACK for data we fast-acked
+	FeedbackHeals     int64 // seq_fack advanced by a client ACK after lost 802.11 feedback
 	CacheEvictions    int64
 	WindowUpdates     int64
 	FlowsTracked      int64
+
+	// Safety guard activity (guard.go).
+	GuardSuspects       int64
+	GuardBypasses       int64
+	GuardDrains         int64 // bypassed flows whose debt reached zero
+	InvariantViolations int64
 }
 
 // Disposition tells the AP datapath what to do with a packet and what to
@@ -107,10 +123,11 @@ var forwardOnly = Disposition{Forward: true}
 // Agent is one AP's FastACK engine. It is single-goroutine like the Click
 // datapath it models; the owning simulator serialises calls.
 type Agent struct {
-	cfg   Config
-	now   func() sim.Time
-	flows map[packet.Flow]*flowState
-	stats Stats
+	cfg        Config
+	now        func() sim.Time
+	flows      map[packet.Flow]*flowState
+	stats      Stats
+	violations []string
 }
 
 // New creates an agent. now supplies the current simulation time (used for
@@ -128,6 +145,7 @@ func New(cfg Config, now func() sim.Time) *Agent {
 	if cfg.IdleExpiry == 0 {
 		cfg.IdleExpiry = 5 * sim.Minute
 	}
+	cfg.Guard.applyDefaults()
 	if now == nil {
 		now = func() sim.Time { return 0 }
 	}
@@ -139,6 +157,28 @@ func (a *Agent) Stats() Stats { return a.stats }
 
 // FlowCount returns the number of tracked flows.
 func (a *Agent) FlowCount() int { return len(a.flows) }
+
+// DebtBytes sums the fast-ACK debt [seq_TCP, seq_fack) across every
+// tracked flow.
+func (a *Agent) DebtBytes() int64 {
+	var n int64
+	for _, f := range a.flows {
+		n += int64(f.debtBytes())
+	}
+	return n
+}
+
+// UndrainedBypassedFlows counts flows sitting in Bypass or Draining that
+// still carry debt — after a drain window, a healthy agent reads zero.
+func (a *Agent) UndrainedBypassedFlows() int {
+	n := 0
+	for _, f := range a.flows {
+		if (f.gstate == GuardBypass || f.gstate == GuardDraining) && f.debtBytes() > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // flowFor returns (creating if needed) state for the downlink flow key.
 func (a *Agent) flowFor(key packet.Flow) *flowState {
@@ -160,18 +200,33 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 	t := d.TCP
 	key := d.Flow()
 
-	// Handshake: learn the sender's window scale and seed pointers.
+	// Handshake: learn the sender's window scale and seed pointers. A SYN
+	// on an already-tracked 5-tuple is a new connection incarnation: any
+	// cached segments, q_seq entries, holes, or guard verdicts from the
+	// previous one would poison the new stream, so they are discarded.
 	if t.HasFlag(packet.FlagSYN) {
 		f := a.flowFor(key)
 		f.senderWScale = 0
 		if t.WindowScale >= 0 {
 			f.senderWScale = t.WindowScale
 		}
+		f.resetForNewConnection()
 		f.initAt(t.Seq + 1)
 		return forwardOnly
 	}
 	if t.HasFlag(packet.FlagRST) {
-		delete(a.flows, key)
+		if f, ok := a.flows[key]; ok {
+			if f.debtBytes() > 0 && !a.cfg.Guard.Disable {
+				// The flow still carries fast-ACK debt: the sender believes
+				// [seq_TCP, seq_fack) delivered and will never resend it. If
+				// the RST is spurious (or injected), dropping the cache now
+				// would strand the client; drain first, and let Sweep's
+				// DrainExpiry reap the state if the connection really died.
+				a.guardTrip(f, GuardReasonRST)
+			} else {
+				delete(a.flows, key)
+			}
+		}
 		return forwardOnly
 	}
 	if d.PayloadLen == 0 {
@@ -200,13 +255,30 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 
 	seqIn := t.Seq
 	end := seqIn + uint32(d.PayloadLen)
+
+	if f.gstate >= GuardBypass {
+		return a.bypassDownlink(f, end)
+	}
+	a.guardTick(f)
+	if f.gstate >= GuardBypass { // stalled debt tripped just now
+		return a.bypassDownlink(f, end)
+	}
+
 	disp := Disposition{Forward: true}
 
 	switch {
 	case seqLT(seqIn, f.seqFack):
-		// (i) Spurious retransmission: already fast-ACKed. Drop.
+		// (i) Spurious retransmission: already fast-ACKed. Drop — but
+		// re-ACK, the way the client itself would answer a duplicate
+		// segment. The retransmission means the sender missed the original
+		// fast ACK (ACKs get lost too); if the agent just ate the retry the
+		// sender would RTO-loop forever on data the client already holds.
 		a.stats.SpuriousDrops++
-		return Disposition{Forward: false}
+		a.stats.SpuriousReacks++
+		reack := Disposition{Forward: false}
+		reack.ToSender = append(reack.ToSender, a.buildAck(f, f.seqFack))
+		a.checkFlow(f)
+		return reack
 
 	case seqLT(seqIn, f.seqExp):
 		// (ii) End-to-end retransmission of data the AP has seen but the
@@ -215,6 +287,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		a.stats.ElevatedForwards++
 		disp.Elevate = true
 		a.cacheInsert(f, d)
+		a.checkFlow(f)
 		return disp
 
 	case seqIn == f.seqExp:
@@ -224,6 +297,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		if seqLT(f.seqHigh, end) {
 			f.seqHigh = end
 		}
+		a.checkFlow(f)
 		return disp
 
 	default:
@@ -231,6 +305,14 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		// the hole, emulate the client's duplicate ACK (with SACK when
 		// supported) so the sender repairs it early (§5.5.3), then treat
 		// the packet as (iii).
+		if !a.cfg.Guard.Disable && seqIn-f.seqExp > a.cfg.Guard.MaxSeqJump {
+			// A hole this wide is not congestion, it is a mangled header.
+			// Forward the packet untouched — adopting the garbage sequence
+			// into the holes vector or the cache would corrupt the flow.
+			a.guardSoftAnomaly(f, GuardReasonSeqJump)
+			a.checkFlow(f)
+			return forwardOnly
+		}
 		a.stats.HolesDetected++
 		f.addAbove(seqIn, end)
 		if seqLT(f.seqHigh, end) {
@@ -243,6 +325,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		a.stats.HoleDupAcksSent++
 		disp.ToSender = append(disp.ToSender, dup)
 		a.cacheInsert(f, d)
+		a.checkFlow(f)
 		return disp
 	}
 }
@@ -254,6 +337,14 @@ func (a *Agent) cacheInsert(f *flowState, d *packet.Datagram) {
 	if ev := f.cacheInsert(d, a.cfg.CacheLimitBytes); ev > 0 {
 		a.stats.CacheEvictions++
 		obsm.cacheEvictions.Inc()
+	}
+	if f.evictBlocked {
+		// The limit wanted to evict vouched-for bytes: the cache is
+		// thrashing against the debt range. Safety beats memory — the
+		// eviction was refused — but a flow in this regime must stop
+		// growing the debt.
+		f.evictBlocked = false
+		a.guardTrip(f, GuardReasonCacheThrash)
 	}
 }
 
@@ -271,6 +362,25 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 	if !a.cfg.MarkAllFlows && !f.promoted {
 		return Disposition{} // not fast-acked yet (footnote 10 gating)
 	}
+	if f.gstate >= GuardBypass {
+		// No fast ACKs are generated in bypass. A MAC drop inside the debt
+		// range is still the agent's to repair.
+		var disp Disposition
+		if !ok && f.gstate != GuardPassThrough && seqLT(d.TCP.Seq, f.seqFack) {
+			if cached := f.cacheLookup(d.TCP.Seq); cached != nil {
+				obsm.cacheHits.Inc()
+				a.stats.WirelessRedrives++
+				disp.ToClient = append(disp.ToClient, cached.Clone())
+			} else {
+				obsm.cacheMisses.Inc()
+			}
+		}
+		return disp
+	}
+	a.guardTick(f)
+	if f.gstate >= GuardBypass {
+		return Disposition{}
+	}
 	var disp Disposition
 	if !ok {
 		// The MAC gave up on this MPDU. Re-drive it from the cache so the
@@ -287,6 +397,15 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 		return disp
 	}
 
+	if end := d.TCP.Seq + uint32(d.PayloadLen); seqLT(f.seqExp, end) {
+		// Feedback for bytes that never crossed the wire: the radio cannot
+		// have transmitted them, so the report is garbage (mangled header,
+		// stale feedback from a prior connection). Folding it in would
+		// fast-ACK data the agent does not hold.
+		a.guardSoftAnomaly(f, GuardReasonWildAck)
+		a.checkFlow(f)
+		return disp
+	}
 	f.enqueueAcked(d.TCP.Seq, d.PayloadLen)
 	fackBefore := f.seqFack
 	if newFack, segs := f.drainContiguous(); segs > 0 {
@@ -301,6 +420,7 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 		f.lastFastAckAt = a.now()
 		disp.ToSender = append(disp.ToSender, fa)
 	}
+	a.checkFlow(f)
 	return disp
 }
 
@@ -339,6 +459,14 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 		return forwardOnly
 	}
 
+	if f.gstate >= GuardBypass {
+		return a.bypassUplinkAck(f, t)
+	}
+	a.guardTick(f)
+	if f.gstate >= GuardBypass { // stalled debt tripped just now
+		return a.bypassUplinkAck(f, t)
+	}
+
 	// Pure TCP ACK from the client.
 	wscale := f.clientWScale
 	if wscale < 0 {
@@ -347,6 +475,14 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 	f.clientWindow = int(t.Window) << wscale
 
 	ack := t.Ack
+	if !a.cfg.Guard.Disable && seqLT(f.seqHigh, ack) {
+		// Cumulative ACK beyond anything the sender has transmitted:
+		// header corruption. Forward it untouched — folding it into
+		// seq_TCP would poison the window and debt accounting.
+		a.guardSoftAnomaly(f, GuardReasonWildAck)
+		a.checkFlow(f)
+		return forwardOnly
+	}
 	var disp Disposition // suppress by default (Forward=false)
 	if a.cfg.DisableSuppression {
 		disp.Forward = true
@@ -362,6 +498,9 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 		f.cachePurge(ack)
 		f.dupAcksFromClient = 0
 		f.lastClientAck = ack
+		f.debtProgressAt = a.now()
+		f.ackProgressAt = a.now()
+		f.stormCount = 0 // forward progress: not a retransmit storm
 		if wasZero && f.advertisedWindow(a.cfg.FlowQueueBudget) >= lowWindowBytes {
 			// The sender was window-limited on our clamped advertisement;
 			// release it now that the client drained (§5.5.2).
@@ -389,7 +528,9 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 				if ack != f.lastRtxSeq || now-f.lastRtxAt >= a.cfg.RtxGuard {
 					f.lastRtxSeq = ack
 					f.lastRtxAt = now
-					disp.ToClient = append(disp.ToClient, a.retransmitFromCache(f, ack, t.SACK)...)
+					rtx := a.retransmitFromCache(f, ack, t.SACK)
+					disp.ToClient = append(disp.ToClient, rtx...)
+					a.guardNoteRetransmits(f, len(rtx))
 				}
 			}
 		}
@@ -398,15 +539,30 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 	}
 
 	if seqLT(f.seqFack, ack) {
-		// The client acknowledged beyond our fast-ack point (should not
-		// happen with accurate hints); forward rather than lose
-		// information.
+		// The client acknowledged beyond our fast-ack point. Forward rather
+		// than lose information — and treat the cumulative ACK as ground
+		// truth for delivery: every byte below it reached the client, so the
+		// fast-ack point advances even though the 802.11 feedback for those
+		// segments never arrived. Without this, one lost block-ACK report
+		// wedges seq_fack forever: fast ACKs stop, q_seq grows without
+		// bound, and the queue-budget clamp (budget − (seq_high − seq_fack))
+		// goes negative so every generated ACK advertises a zero window.
 		if !a.cfg.DisableSuppression {
 			a.stats.ClientAcksDropped--
 			obsm.clientAcksDropped.Add(-1)
 		}
 		disp.Forward = true
+		heal := ack
+		if seqLT(f.seqExp, heal) {
+			heal = f.seqExp // never past the wire frontier
+		}
+		if seqLT(f.seqFack, heal) {
+			f.seqFack = heal
+			f.drainContiguous() // ride over q_seq entries the heal reconnected
+			a.stats.FeedbackHeals++
+		}
 	}
+	a.checkFlow(f)
 	return disp
 }
 
@@ -474,6 +630,7 @@ func (a *Agent) buildAck(f *flowState, ackNo uint32) *packet.Datagram {
 	// update toward the sender.
 	f.zeroWindowSent = advBytes < lowWindowBytes
 	d.TCP.Window = uint16(adv)
+	a.checkFastAck(f, ackNo, advBytes)
 	return d
 }
 
@@ -482,15 +639,28 @@ func (a *Agent) buildAck(f *flowState, ackNo uint32) *packet.Datagram {
 const lowWindowBytes = 3 * 1448
 
 // Sweep drops state for flows idle longer than the configured expiry and
-// returns how many were removed.
+// returns how many were removed. A flow still carrying fast-ACK debt is
+// not discarded at IdleExpiry — its cache is the only repair source for
+// bytes the agent vouched for — it is bypassed (so the client's next real
+// ACKs drain it) and only reaped after a further Guard.DrainExpiry.
 func (a *Agent) Sweep() int {
 	now := a.now()
 	removed := 0
 	for key, f := range a.flows {
-		if now-f.lastFastAckAt > a.cfg.IdleExpiry {
-			delete(a.flows, key)
-			removed++
+		idle := now - f.lastFastAckAt
+		if idle <= a.cfg.IdleExpiry {
+			continue
 		}
+		if f.debtBytes() > 0 && !a.cfg.Guard.Disable {
+			if f.gstate < GuardBypass {
+				a.guardTrip(f, GuardReasonIdleDebt)
+			}
+			if idle <= a.cfg.IdleExpiry+a.cfg.Guard.DrainExpiry {
+				continue
+			}
+		}
+		delete(a.flows, key)
+		removed++
 	}
 	return removed
 }
@@ -510,6 +680,11 @@ type ExportedFlow struct {
 	ClientWScale int
 	ClientSACKOK bool
 	Cache        []*packet.Datagram
+	// Guard state travels with the flow: a bypassed flow keeps draining on
+	// the roam-to AP instead of being resurrected into full FastACK.
+	Guard        GuardState
+	BypassAt     sim.Time
+	DebtAtBypass int64
 }
 
 // Drop removes a flow's state (after exporting it to a roam-to AP).
@@ -526,6 +701,7 @@ func (a *Agent) Export(key packet.Flow) (ExportedFlow, bool) {
 		SeqFack: f.seqFack, SeqTCP: f.seqTCP,
 		ClientWindow: f.clientWindow, ClientWScale: f.clientWScale,
 		ClientSACKOK: f.clientSACKOK,
+		Guard:        f.gstate, BypassAt: f.bypassAt, DebtAtBypass: f.debtAtBypass,
 	}
 	for _, c := range f.cache {
 		ex.Cache = append(ex.Cache, c.dgram.Clone())
@@ -537,7 +713,9 @@ func (a *Agent) Export(key packet.Flow) (ExportedFlow, bool) {
 // returns a resynchronisation ACK the caller must forward to the TCP
 // sender: it re-advertises the window from the new AP, so a sender
 // stalled on the roam-from AP's last (possibly zero) advertisement
-// resumes immediately.
+// resumes immediately. For a flow that arrives bypassed or draining no
+// resync ACK is returned (nil): a bypassed flow no longer impersonates
+// the client, and the client's own ACKs reach the sender unsuppressed.
 func (a *Agent) Import(ex ExportedFlow) *packet.Datagram {
 	f := a.flowFor(ex.Flow)
 	f.initialized = true
@@ -549,8 +727,20 @@ func (a *Agent) Import(ex ExportedFlow) *packet.Datagram {
 	f.clientWScale = ex.ClientWScale
 	f.clientSACKOK = ex.ClientSACKOK
 	f.lastFastAckAt = a.now()
+	f.gstate = ex.Guard
+	f.bypassAt = ex.BypassAt
+	f.debtAtBypass = ex.DebtAtBypass
+	// Detector state restarts cleanly on the new AP: the roam itself is
+	// not evidence of pathology.
+	f.debtProgressAt = a.now()
+	f.ackProgressAt = a.now()
+	f.stormCount = 0
 	for _, d := range ex.Cache {
 		f.cacheInsert(d, a.cfg.CacheLimitBytes)
+	}
+	if f.gstate >= GuardBypass {
+		a.checkFlow(f)
+		return nil
 	}
 	return a.buildAck(f, f.seqFack)
 }

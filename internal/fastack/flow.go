@@ -80,11 +80,55 @@ type flowState struct {
 	// state.
 	bytesSeen int64
 	promoted  bool
+
+	// Safety-guard state (guard.go).
+	gstate         GuardState
+	suspectAt      sim.Time   // entered Suspect
+	stormCount     int        // local retransmits since last client progress
+	debtProgressAt sim.Time   // last time the debt shrank (or was zero)
+	ackProgressAt  sim.Time   // last genuine client cumulative-ACK advance
+	bypassAt       sim.Time   // entered Bypass
+	bypassReason   GuardReason
+	debtAtBypass   int64
+	evictBlocked   bool // cacheInsert refused to evict vouched bytes
 }
 
 func (f *flowState) String() string {
-	return fmt.Sprintf("flow %v exp=%d fack=%d tcp=%d high=%d q=%d cache=%d",
-		f.flow, f.seqExp, f.seqFack, f.seqTCP, f.seqHigh, len(f.qSeq), len(f.cache))
+	return fmt.Sprintf("flow %v %s exp=%d fack=%d tcp=%d high=%d q=%d cache=%d",
+		f.flow, f.gstate, f.seqExp, f.seqFack, f.seqTCP, f.seqHigh, len(f.qSeq), len(f.cache))
+}
+
+// debtBytes is the fast-ACK debt [seq_TCP, seq_fack): bytes already
+// acknowledged to the sender on the client's behalf that the client itself
+// has not acknowledged. While it is non-zero the agent — and only the
+// agent — can repair losses in that range.
+func (f *flowState) debtBytes() int {
+	d := int32(f.seqFack - f.seqTCP)
+	if d <= 0 {
+		return 0
+	}
+	return int(d)
+}
+
+// resetForNewConnection discards per-incarnation packet state and guard
+// verdicts when a fresh SYN reuses the 5-tuple. Sequence pointers are
+// re-seeded by the caller via initAt.
+func (f *flowState) resetForNewConnection() {
+	f.qSeq = nil
+	f.above = nil
+	f.cache = nil
+	f.cacheBytes = 0
+	f.dupAcksFromClient = 0
+	f.zeroWindowSent = false
+	f.gstate = GuardActive
+	f.suspectAt = 0
+	f.stormCount = 0
+	f.debtProgressAt = 0
+	f.ackProgressAt = 0
+	f.bypassAt = 0
+	f.bypassReason = ""
+	f.debtAtBypass = 0
+	f.evictBlocked = false
 }
 
 // initAt seeds the sequence pointers when the first data (or handshake)
@@ -173,14 +217,39 @@ func (f *flowState) cacheInsert(d *packet.Datagram, limitBytes int) (evicted int
 	f.cacheBytes += d.PayloadLen
 	for limitBytes > 0 && f.cacheBytes > limitBytes && len(f.cache) > 1 {
 		// Evict the oldest (lowest seq): it is the most likely to have
-		// been delivered already.
+		// been delivered already. But never a segment overlapping the
+		// fast-ACK debt range [seq_TCP, seq_fack): those bytes were
+		// vouched for toward the sender and this cache is the only place
+		// they can ever be repaired from. The cache overruns its budget
+		// instead, and the blocked eviction is surfaced as a thrash
+		// signal for the guard.
 		old := f.cache[0]
+		if f.debtBytes() > 0 && seqLT(f.seqTCP, old.end) && seqLT(old.seq, f.seqFack) {
+			f.evictBlocked = true
+			break
+		}
 		f.cache = f.cache[1:]
 		n := int(old.end - old.seq)
 		f.cacheBytes -= n
 		evicted += n
 	}
 	return evicted
+}
+
+// cacheTrimToDebt shrinks the cache to exactly the debt range: entries
+// fully acknowledged by the client and entries at or above seq_fack
+// (never vouched for) are dropped. Entered on bypass, when the cache's
+// only remaining job is making good on [seq_TCP, seq_fack).
+func (f *flowState) cacheTrimToDebt() {
+	f.cachePurge(f.seqTCP)
+	for len(f.cache) > 0 {
+		last := f.cache[len(f.cache)-1]
+		if seqLT(last.seq, f.seqFack) {
+			break // starts inside the debt range: keep
+		}
+		f.cacheBytes -= int(last.end - last.seq)
+		f.cache = f.cache[:len(f.cache)-1]
+	}
 }
 
 // cachePurge drops cache entries fully acknowledged at or below ack.

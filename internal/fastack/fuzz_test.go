@@ -1,0 +1,79 @@
+package fastack
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// FuzzAgentDatagram throws arbitrary wire images at a live agent on every
+// datapath entry point. The agent carries an established flow with
+// outstanding fast-ACK debt — the state most exposed to a mangled header —
+// and runs with the invariant checker armed. Whatever the input, the agent
+// must neither panic nor violate its safety contract (never fast-ACK beyond
+// the wire, never advertise beyond the client's window, keep the cache
+// covering the debt range while draining), and a healthy segment processed
+// afterwards must still flow.
+func FuzzAgentDatagram(f *testing.F) {
+	seg := data(4000)
+	ack := clientAck(2000, 2048)
+	syn := packet.NewTCPDatagram(serverEP, clientEP, 0)
+	syn.TCP.Seq = 999
+	syn.TCP.Flags = packet.FlagSYN
+	syn.TCP.WindowScale = 7
+	sack := clientAck(1000, 2048)
+	sack.TCP.SACK = []packet.SACKBlock{{Left: 2000, Right: 3000}}
+	rst := data(1000)
+	rst.TCP.Flags = packet.FlagRST
+	rst.PayloadLen = 0
+
+	f.Add(byte(0), seg.Marshal())  // downlink data
+	f.Add(byte(1), ack.Marshal())  // uplink ACK
+	f.Add(byte(2), seg.Marshal())  // wireless ACK ok
+	f.Add(byte(5), seg.Marshal())  // wireless ACK failed (dir%3==2, dir&4)
+	f.Add(byte(0), syn.Marshal())  // connection restart
+	f.Add(byte(1), sack.Marshal()) // uplink SACK
+	f.Add(byte(0), rst.Marshal())  // teardown
+	f.Add(byte(3), []byte{0x45})   // truncated junk
+
+	f.Fuzz(func(t *testing.T, dir byte, raw []byte) {
+		cfg := DefaultConfig()
+		cfg.CheckInvariants = true
+		h := newHarness(cfg)
+
+		// Scripted healthy prefix: handshake, one client-ACKed segment and
+		// two fast-ACKed ones, so debt = [2000, 4000) with a warm cache.
+		h.handshake(t)
+		for i := uint32(0); i < 3; i++ {
+			h.a.HandleDownlink(data(1000 + i*segLen))
+			h.a.HandleWirelessAck(data(1000+i*segLen), true)
+		}
+		h.a.HandleUplink(clientAck(2000, 2048))
+
+		d, err := packet.Unmarshal(raw)
+		if err == nil && d.TCP != nil {
+			switch dir % 3 {
+			case 0:
+				h.a.HandleDownlink(d)
+			case 1:
+				h.a.HandleUplink(d)
+			case 2:
+				h.a.HandleWirelessAck(d, dir&4 == 0)
+			}
+		}
+
+		// The flow keeps working afterwards: time moves, more data lands,
+		// the client catches up, idle flows sweep.
+		h.now += 10 * sim.Millisecond
+		h.a.HandleDownlink(data(4000))
+		h.a.HandleWirelessAck(data(4000), true)
+		h.a.HandleUplink(clientAck(5000, 2048))
+		h.now += 2 * cfg.IdleExpiry
+		h.a.Sweep()
+
+		if v := h.a.Violations(); len(v) != 0 {
+			t.Fatalf("invariant violations after dir=%d raw=%x: %v", dir, raw, v)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package fastack
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Two self-healing paths keep a chaos-stressed flow out of permanent
+// stalls (found by the data-path fault campaign):
+//
+//   - lost 802.11 block-ACK feedback must not wedge seq_fack — the
+//     client's cumulative TCP ACK is ground truth for delivery;
+//   - a spurious retransmission (below seq_fack) must be answered with a
+//     duplicate fast ACK, the way the client itself would answer a
+//     duplicate segment, or a sender that missed the original fast ACK
+//     RTO-loops forever while the agent eats every retry.
+
+func TestClientAckHealsLostFeedback(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	h := newHarness(cfg)
+	h.handshake(t)
+	d0, d1, d2 := data(1000), data(2000), data(3000)
+	h.a.HandleDownlink(d0)
+	h.a.HandleDownlink(d1)
+	h.a.HandleDownlink(d2)
+
+	h.a.HandleWirelessAck(d0, true)
+	// d1's block-ACK report is lost in the driver (never delivered to the
+	// agent); d2's arrives but cannot extend the fast-ack point past the
+	// feedback gap.
+	if disp := h.a.HandleWirelessAck(d2, true); len(disp.ToSender) != 0 {
+		t.Fatalf("fast ACK across a feedback gap: %+v", disp)
+	}
+	f := h.a.flows[d0.Flow()]
+	if f.seqFack != 2000 {
+		t.Fatalf("seqFack=%d, want 2000 (wedged behind the gap)", f.seqFack)
+	}
+
+	// The client acknowledges everything: all three segments were in fact
+	// delivered. The ACK must be forwarded (it is news to the sender) and
+	// must heal the fast-ack point.
+	disp := h.a.HandleUplink(clientAck(4000, 4096))
+	if !disp.Forward {
+		t.Fatal("client ACK beyond seq_fack must be forwarded")
+	}
+	if f.seqFack != 4000 {
+		t.Fatalf("seqFack=%d after heal, want 4000", f.seqFack)
+	}
+	if len(f.qSeq) != 0 {
+		t.Fatalf("q_seq still holds %d entries after heal", len(f.qSeq))
+	}
+	if st := h.a.Stats(); st.FeedbackHeals != 1 {
+		t.Fatalf("FeedbackHeals=%d, want 1", st.FeedbackHeals)
+	}
+
+	// Fast-acking resumes cleanly past the healed point.
+	d3 := data(4000)
+	h.a.HandleDownlink(d3)
+	if disp := h.a.HandleWirelessAck(d3, true); len(disp.ToSender) != 1 || disp.ToSender[0].TCP.Ack != 5000 {
+		t.Fatalf("fast-acking did not resume after heal: %+v", disp)
+	}
+	if v := h.a.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+func TestClientAckHealClampsAtWireFrontier(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	h := newHarness(cfg)
+	h.handshake(t)
+	d0 := data(1000)
+	h.a.HandleDownlink(d0)
+	h.a.HandleWirelessAck(d0, true)
+	f := h.a.flows[d0.Flow()]
+	// An upstream hole: 3000 arrives, 2000 never does. seq_high=4000 but
+	// the wire frontier stays at 2000.
+	h.a.HandleDownlink(data(3000))
+	// A client ACK claiming 4000 passes the wild-ack screen (it is within
+	// seq_high) but the heal must not push seq_fack past seq_exp.
+	h.a.HandleUplink(clientAck(4000, 4096))
+	if f.seqFack != 2000 {
+		t.Fatalf("seqFack=%d, want clamp at wire frontier 2000", f.seqFack)
+	}
+	if v := h.a.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+func TestSpuriousRetransmissionReacked(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckInvariants = true
+	h := newHarness(cfg)
+	h.handshake(t)
+	d0 := data(1000)
+	h.a.HandleDownlink(d0)
+	h.a.HandleWirelessAck(d0, true) // fast ACK 2000 toward the sender
+
+	// The sender missed the fast ACK and retransmits. The agent drops the
+	// duplicate data but must answer with a duplicate fast ACK so the
+	// sender stops retrying.
+	disp := h.a.HandleDownlink(data(1000))
+	if disp.Forward {
+		t.Fatal("spurious retransmission must not reach the client")
+	}
+	if len(disp.ToSender) != 1 || disp.ToSender[0].TCP.Ack != 2000 {
+		t.Fatalf("expected re-ACK at 2000, got %+v", disp)
+	}
+	st := h.a.Stats()
+	if st.SpuriousDrops != 1 || st.SpuriousReacks != 1 {
+		t.Fatalf("stats: drops=%d reacks=%d, want 1/1", st.SpuriousDrops, st.SpuriousReacks)
+	}
+	if v := h.a.Violations(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+// TestDebtAccessors pins the agent-level debt aggregates the testbed's
+// chaos suite polls: DebtBytes across flows and the undrained-bypass
+// count through a full bypass -> drain cycle.
+func TestDebtAccessors(t *testing.T) {
+	h := newHarness(guardConfig())
+	if h.a.DebtBytes() != 0 || h.a.UndrainedBypassedFlows() != 0 {
+		t.Fatal("fresh agent reports debt")
+	}
+	buildDebt(t, h)
+	if got := h.a.DebtBytes(); got != 3000 {
+		t.Fatalf("DebtBytes=%d, want 3000", got)
+	}
+	if h.a.UndrainedBypassedFlows() != 0 {
+		t.Fatal("active flow counted as undrained bypass")
+	}
+	h.now += h.a.cfg.Guard.DebtStallTimeout + sim.Millisecond
+	h.a.HandleDownlink(data(4000)) // trips the debt-stall detector
+	if h.a.UndrainedBypassedFlows() != 1 {
+		t.Fatal("bypassed indebted flow not counted")
+	}
+	h.a.HandleUplink(clientAck(4000, 4096)) // client makes the debt good
+	if h.a.DebtBytes() != 0 || h.a.UndrainedBypassedFlows() != 0 {
+		t.Fatalf("debt not drained: bytes=%d undrained=%d",
+			h.a.DebtBytes(), h.a.UndrainedBypassedFlows())
+	}
+}

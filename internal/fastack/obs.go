@@ -26,6 +26,16 @@ import (
 //	fastack.ampdu_segs          MPDUs coalesced per fast ACK
 //	fastack.adv_window_bytes    rewritten advertised window per generated
 //	                            ACK (0 ⇒ sender deliberately stalled)
+//	fastack.guard_suspects      flows parked in Suspect by a soft anomaly
+//	fastack.guard_bypasses      flows tripped into Bypass (all reasons)
+//	fastack.guard_bypass_<r>    bypasses by reason: storm, debt_stall,
+//	                            seq_jump, wild_ack, cache_thrash, rst,
+//	                            idle_debt
+//	fastack.guard_drained       bypassed flows whose debt drained to zero
+//	fastack.guard_invariant_violations
+//	                            runtime safety-invariant trips (must be 0)
+//	fastack.guard_debt_bytes    fast-ACK debt carried into Bypass
+//	fastack.guard_drain_ms      Bypass → PassThrough drain duration
 type fastackMetrics struct {
 	fastAcksSent      *obs.Counter
 	clientAcksDropped *obs.Counter
@@ -37,11 +47,19 @@ type fastackMetrics struct {
 	ampduBytes        *obs.Histogram
 	ampduSegs         *obs.Histogram
 	advWindow         *obs.Histogram
+
+	guardSuspects       *obs.Counter
+	guardBypasses       *obs.Counter
+	bypassReasons       map[GuardReason]*obs.Counter
+	guardDrained        *obs.Counter
+	invariantViolations *obs.Counter
+	guardDebtBytes      *obs.Histogram
+	guardDrainMs        *obs.Histogram
 }
 
 var obsm = func() *fastackMetrics {
 	s := obs.Default().Scope("fastack")
-	return &fastackMetrics{
+	m := &fastackMetrics{
 		fastAcksSent:      s.Counter("fast_acks_sent"),
 		clientAcksDropped: s.Counter("client_acks_dropped"),
 		cacheHits:         s.Counter("cache_hits"),
@@ -52,5 +70,17 @@ var obsm = func() *fastackMetrics {
 		ampduBytes:        s.Histogram("ampdu_bytes", "B"),
 		ampduSegs:         s.Histogram("ampdu_segs", "segs"),
 		advWindow:         s.Histogram("adv_window_bytes", "B"),
+
+		guardSuspects:       s.Counter("guard_suspects"),
+		guardBypasses:       s.Counter("guard_bypasses"),
+		bypassReasons:       map[GuardReason]*obs.Counter{},
+		guardDrained:        s.Counter("guard_drained"),
+		invariantViolations: s.Counter("guard_invariant_violations"),
+		guardDebtBytes:      s.Histogram("guard_debt_bytes", "B"),
+		guardDrainMs:        s.Histogram("guard_drain_ms", "ms"),
 	}
+	for _, r := range guardReasons {
+		m.bypassReasons[r] = s.Counter("guard_bypass_" + string(r))
+	}
+	return m
 }()

@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilDataInjectorIsFaultFree(t *testing.T) {
+	var dj *DataInjector = NewData(nil)
+	if dj.Active() {
+		t.Fatal("nil data injector active")
+	}
+	if dj.SegmentArrival(1, 1000) != 0 {
+		t.Fatal("nil data injector counted an arrival")
+	}
+	if dj.DropSegment(1, 1000, 0) || dj.DuplicateSegment(1, 1000, 0) ||
+		dj.CorruptSegment(1, 1000, 0) || dj.DropBAFeedback(1, sim.Second) ||
+		dj.Disconnected(1, sim.Second) {
+		t.Fatal("nil data injector injected a fault")
+	}
+	if _, ok := dj.ReorderSegment(1, 1000, 0); ok {
+		t.Fatal("nil data injector reordered a segment")
+	}
+	if dj.Roams() != nil {
+		t.Fatal("nil data injector scheduled roams")
+	}
+}
+
+// TestReorderDuplicatePrimitives covers the shared Injector primitives the
+// data profile is built on, with the same chaos-profile test discipline as
+// the control-plane faults: bounded reorder delays and rates near the
+// configured probabilities.
+func TestReorderDuplicatePrimitives(t *testing.T) {
+	inj := New(&Profile{Seed: 11, Reorder: 0.2, ReorderMax: 2 * sim.Millisecond, Duplicate: 0.1})
+	n, reorders, dups := 0, 0, 0
+	for id := 0; id < 100; id++ {
+		for k := 0; k < 200; k++ {
+			at := sim.Time(k) * sim.Millisecond
+			n++
+			if d, ok := inj.ReorderDelay(id, k, at); ok {
+				reorders++
+				if d <= 0 || d > 2*sim.Millisecond {
+					t.Fatalf("reorder delay %v out of (0, 2ms]", d)
+				}
+			}
+			if inj.Duplicate(id, k, at) {
+				dups++
+			}
+		}
+	}
+	if f := float64(reorders) / float64(n); f < 0.18 || f > 0.22 {
+		t.Fatalf("reorder rate %f, want ~0.20", f)
+	}
+	if f := float64(dups) / float64(n); f < 0.08 || f > 0.12 {
+		t.Fatalf("duplicate rate %f, want ~0.10", f)
+	}
+}
+
+func TestDataDecisionsAreDeterministicAndOrderFree(t *testing.T) {
+	a := NewData(DataChaos(7))
+	b := NewData(DataChaos(7))
+	type q struct {
+		client  int
+		seq     uint32
+		attempt int
+		at      sim.Time
+	}
+	var qs []q
+	for c := 0; c < 20; c++ {
+		for k := 0; k < 50; k++ {
+			qs = append(qs, q{c, uint32(1000 + k*1448), k % 3, sim.Time(k) * sim.Millisecond})
+		}
+	}
+	type ans struct {
+		drop, dup, corrupt, ba bool
+		rdelay                 sim.Time
+		rok                    bool
+	}
+	want := make([]ans, len(qs))
+	for i, x := range qs {
+		want[i].drop = a.DropSegment(x.client, x.seq, x.attempt)
+		want[i].dup = a.DuplicateSegment(x.client, x.seq, x.attempt)
+		want[i].corrupt = a.CorruptSegment(x.client, x.seq, x.attempt)
+		want[i].ba = a.DropBAFeedback(x.client, x.at)
+		want[i].rdelay, want[i].rok = a.ReorderSegment(x.client, x.seq, x.attempt)
+	}
+	// Ask b the same questions in reverse order: answers must match a's.
+	for i := len(qs) - 1; i >= 0; i-- {
+		x := qs[i]
+		got := ans{
+			drop:    b.DropSegment(x.client, x.seq, x.attempt),
+			dup:     b.DuplicateSegment(x.client, x.seq, x.attempt),
+			corrupt: b.CorruptSegment(x.client, x.seq, x.attempt),
+			ba:      b.DropBAFeedback(x.client, x.at),
+		}
+		got.rdelay, got.rok = b.ReorderSegment(x.client, x.seq, x.attempt)
+		if got != want[i] {
+			t.Fatalf("order-dependent data decision at %d", i)
+		}
+	}
+}
+
+func TestDataRatesApproximateProfile(t *testing.T) {
+	dj := NewData(DataChaos(3))
+	n, drops, dups, corrupts := 0, 0, 0, 0
+	for c := 0; c < 50; c++ {
+		for k := 0; k < 400; k++ {
+			seq := uint32(1000 + k*1448)
+			att := dj.SegmentArrival(c, seq)
+			n++
+			if dj.DropSegment(c, seq, att) {
+				drops++
+			}
+			if dj.DuplicateSegment(c, seq, att) {
+				dups++
+			}
+			if dj.CorruptSegment(c, seq, att) {
+				corrupts++
+			}
+		}
+	}
+	if f := float64(drops) / float64(n); f < 0.015 || f > 0.025 {
+		t.Fatalf("wire loss rate %f, want ~0.02", f)
+	}
+	if f := float64(dups) / float64(n); f < 0.007 || f > 0.013 {
+		t.Fatalf("wire dup rate %f, want ~0.01", f)
+	}
+	if f := float64(corrupts) / float64(n); f < 0.003 || f > 0.008 {
+		t.Fatalf("wire corrupt rate %f, want ~0.005", f)
+	}
+}
+
+// TestBAFeedbackLossIsBursty checks block-ACK loss is decided per
+// BALossWindow, not per event: within one window every probe agrees, and
+// across many windows roughly BALoss of them are dark.
+func TestBAFeedbackLossIsBursty(t *testing.T) {
+	dj := NewData(DataChaos(5))
+	const windows = 2000
+	dark := 0
+	for w := 0; w < windows; w++ {
+		base := sim.Time(w) * 50 * sim.Millisecond
+		first := dj.DropBAFeedback(3, base)
+		for off := sim.Time(0); off < 50*sim.Millisecond; off += 10 * sim.Millisecond {
+			if dj.DropBAFeedback(3, base+off) != first {
+				t.Fatalf("window %d not uniform at offset %v", w, off)
+			}
+		}
+		if first {
+			dark++
+		}
+	}
+	if f := float64(dark) / windows; f < 0.03 || f > 0.07 {
+		t.Fatalf("dark window rate %f, want ~0.05", f)
+	}
+}
+
+func TestDataSeedsDecorrelate(t *testing.T) {
+	a, b := NewData(DataChaos(1)), NewData(DataChaos(2))
+	same, n := 0, 0
+	for c := 0; c < 20; c++ {
+		for k := 0; k < 100; k++ {
+			at := sim.Time(k) * sim.Millisecond
+			seq := uint32(k * 1448)
+			n++
+			if a.DropSegment(c, seq, 0) == b.DropSegment(c, seq, 0) &&
+				a.DropBAFeedback(c, at) == b.DropBAFeedback(c, at) {
+				same++
+			}
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical data fault sequences")
+	}
+}
+
+func TestDisconnectWindowsAndRoams(t *testing.T) {
+	dj := NewData(&DataProfile{
+		Seed: 1,
+		Disconnects: []Window{
+			{APID: 2, From: sim.Second, To: 2 * sim.Second},
+		},
+		Roams: []Roam{{Client: 4, ToAP: 1, At: 3 * sim.Second}},
+	})
+	if dj.Disconnected(2, sim.Second-1) || !dj.Disconnected(2, sim.Second) ||
+		!dj.Disconnected(2, 2*sim.Second-1) || dj.Disconnected(2, 2*sim.Second) {
+		t.Fatal("disconnect window boundaries wrong")
+	}
+	if dj.Disconnected(3, sim.Second) {
+		t.Fatal("disconnect window leaked onto another client")
+	}
+	roams := dj.Roams()
+	if len(roams) != 1 || roams[0] != (Roam{Client: 4, ToAP: 1, At: 3 * sim.Second}) {
+		t.Fatalf("roams = %+v", roams)
+	}
+}
+
+// TestCorruptU32IsDeterministic pins the corruption garbage to the seed so
+// corrupted headers replay identically.
+func TestCorruptU32IsDeterministic(t *testing.T) {
+	a, b := NewData(DataChaos(9)), NewData(DataChaos(9))
+	saw := map[uint32]bool{}
+	for salt := 0; salt < 8; salt++ {
+		x := a.CorruptU32(1, 5000, salt, 0)
+		if y := b.CorruptU32(1, 5000, salt, 0); x != y {
+			t.Fatalf("corrupt value not deterministic at salt %d", salt)
+		}
+		saw[x] = true
+	}
+	if len(saw) < 2 {
+		t.Fatal("corruption salt does not separate fields")
+	}
+}
+
+// TestSegmentArrivalCountsAttempts pins the attempt coordinate: arrivals of
+// one (client, seq) count up, keys are independent, and a segment dropped
+// on attempt 0 is not doomed on every retry — the per-attempt draws
+// decorrelate, so recovery traffic eventually gets through.
+func TestSegmentArrivalCountsAttempts(t *testing.T) {
+	dj := NewData(DataChaos(13))
+	for want := 0; want < 3; want++ {
+		if got := dj.SegmentArrival(2, 9000); got != want {
+			t.Fatalf("arrival %d of (2, 9000) numbered %d", want, got)
+		}
+	}
+	if got := dj.SegmentArrival(2, 9001); got != 0 {
+		t.Fatalf("fresh key started at attempt %d", got)
+	}
+	if got := dj.SegmentArrival(3, 9000); got != 0 {
+		t.Fatalf("fresh client started at attempt %d", got)
+	}
+
+	hard := NewData(&DataProfile{Seed: 13, WireLoss: 0.5})
+	varies := 0
+	for c := 0; c < 50; c++ {
+		first := hard.DropSegment(c, 1000, 0)
+		for att := 1; att < 4; att++ {
+			if hard.DropSegment(c, 1000, att) != first {
+				varies++
+				break
+			}
+		}
+	}
+	if varies == 0 {
+		t.Fatal("attempt index never changed a drop decision")
+	}
+}

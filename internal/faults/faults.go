@@ -34,6 +34,12 @@ type Profile struct {
 	PollCorrupt float64
 	// PushFail is the probability one plan-push attempt to an AP fails.
 	PushFail float64
+	// Reorder is the probability one delivery is held back behind later
+	// traffic; the extra holding delay is uniform in (0, ReorderMax].
+	Reorder    float64
+	ReorderMax sim.Time // default 2 ms when reordering is enabled
+	// Duplicate is the probability one delivery arrives twice.
+	Duplicate float64
 	// Offline lists per-AP windows during which the AP answers no polls
 	// and accepts no pushes.
 	Offline []Window
@@ -78,6 +84,9 @@ func New(p *Profile) *Injector {
 	if inj.prof.PollDelayMax <= 0 {
 		inj.prof.PollDelayMax = 10 * sim.Minute
 	}
+	if inj.prof.ReorderMax <= 0 {
+		inj.prof.ReorderMax = 2 * sim.Millisecond
+	}
 	for _, w := range p.Offline {
 		inj.offline[w.APID] = append(inj.offline[w.APID], w)
 	}
@@ -96,6 +105,9 @@ const (
 	kindPushFail
 	kindJitter
 	kindCorrupt
+	kindReorder
+	kindReorderAmount
+	kindDuplicate
 )
 
 // mix is a splitmix64-style finalizer over the decision coordinates.
@@ -184,6 +196,32 @@ func (inj *Injector) FailPush(ap, salt int, at sim.Time, attempt int) bool {
 		return false
 	}
 	return inj.uniform(ap, kindPushFail, salt, attempt, at) < inj.prof.PushFail
+}
+
+// ReorderDelay reports whether the delivery keyed (id, salt) is held back
+// behind later traffic, and for how long. Like every primitive here the
+// draw is a pure hash of the coordinates, so the answer does not depend
+// on how many other questions were asked first.
+func (inj *Injector) ReorderDelay(id, salt int, at sim.Time) (sim.Time, bool) {
+	if inj == nil || inj.prof.Reorder <= 0 {
+		return 0, false
+	}
+	if inj.uniform(id, kindReorder, salt, 0, at) >= inj.prof.Reorder {
+		return 0, false
+	}
+	d := sim.Time(inj.uniform(id, kindReorderAmount, salt, 0, at) * float64(inj.prof.ReorderMax))
+	if d < sim.Microsecond {
+		d = sim.Microsecond
+	}
+	return d, true
+}
+
+// Duplicate reports whether the delivery keyed (id, salt) arrives twice.
+func (inj *Injector) Duplicate(id, salt int, at sim.Time) bool {
+	if inj == nil || inj.prof.Duplicate <= 0 {
+		return false
+	}
+	return inj.uniform(id, kindDuplicate, salt, 0, at) < inj.prof.Duplicate
 }
 
 // Jitter returns a deterministic fraction in [0, 1) for retry backoff, so

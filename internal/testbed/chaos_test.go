@@ -1,0 +1,223 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/fastack"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// The chaos acceptance suite: seeded DataChaos campaigns proving the
+// guarded FastACK agent is safe under data-path adversity — wired loss,
+// reordering, duplication, header corruption, block-ACK feedback bursts,
+// client disconnect windows, and a mid-flow roam — and that it never
+// turns a working network into a broken one.
+//
+// Safety is asserted strictly per seed:
+//   - zero runtime invariant violations (CheckInvariants armed),
+//   - every guard-bypassed flow drains its fast-ACK debt to zero once
+//     given a quiet drain tail,
+//   - byte-identical replay at a fixed seed.
+//
+// Goodput is asserted at the campaign level plus a per-seed floor.
+// Per-seed FastACK-vs-baseline ratios under 2% random wired loss are
+// inherently noisy: fault draws are attempt-keyed (fair to both modes),
+// but the two modes send different byte streams at different times, so
+// one seed's draw sequence can land on FastACK's recovery traffic while
+// sparing baseline's, and vice versa. Calibration over the full 100-seed
+// campaign (after the feedback-heal and spurious-re-ACK fixes this
+// campaign flushed out) measured a 1.44x aggregate — FastACK's local
+// repair beats baseline under chaos, exactly the paper's §5.5.1 claim —
+// with per-seed ratios from 0.71x to several-fold wins. The floors below
+// leave calibrated slack under those measurements; the runs are fully
+// seeded, so they are exact, not statistical.
+
+const (
+	chaosDur      = 3 * sim.Second
+	chaosDrainTo  = 3500 * sim.Millisecond
+	chaosPerSeed  = 0.50 // floor on per-seed goodput ratio (measured worst: 0.71)
+	chaosCampaign = 1.10 // floor on campaign aggregate ratio (measured: 1.44)
+)
+
+// chaosProfile is the canonical adversity mix for one seed: full
+// DataChaos wire faults plus a scheduled mid-flow roam of client 0 and an
+// uplink blackout window on AP 1 that overlaps running transfers.
+func chaosProfile(seed int64) *faults.DataProfile {
+	prof := faults.DataChaos(seed)
+	prof.Roams = []faults.Roam{{Client: 0, ToAP: 1, At: 1200 * sim.Millisecond}}
+	prof.Disconnects = []faults.Window{
+		{APID: 1, From: 900 * sim.Millisecond, To: 1100 * sim.Millisecond},
+	}
+	return prof
+}
+
+type chaosResult struct {
+	goodputs   []float64 // per client, post-warmup, at chaosDur
+	agentStats []fastack.Stats
+	faults     FaultCounters
+	violations []string
+	undrained  int
+}
+
+func (r chaosResult) total() float64 {
+	t := 0.0
+	for _, g := range r.goodputs {
+		t += g
+	}
+	return t
+}
+
+// runChaosSeed runs the canonical chaos scenario: two APs in one
+// collision domain, both in the given mode, two clients each, seeded
+// chaos, runtime invariants armed. After the measured window it runs a
+// quiet drain tail so bypassed flows can finish making good on their
+// fast-ACK debt before the undrained count is read.
+func runChaosSeed(seed int64, mode Mode) chaosResult {
+	opt := DefaultOptions()
+	opt.Seed = seed
+	opt.APModes = []Mode{mode, mode}
+	opt.ClientsPerAP = 2
+	opt.Warmup = 500 * sim.Millisecond
+	opt.DataFaults = chaosProfile(seed)
+	opt.FastACK.CheckInvariants = true
+	tb := New(opt)
+	tb.Run(chaosDur)
+
+	res := chaosResult{
+		agentStats: tb.AgentStatsPerAP(),
+		faults:     tb.Faults,
+	}
+	for _, c := range tb.Clients {
+		res.goodputs = append(res.goodputs, c.GoodputMbps(chaosDur))
+	}
+	// Drain tail: no new measurement, just time for in-flight repairs.
+	tb.Engine.RunUntil(chaosDrainTo)
+	res.violations = tb.AgentViolations()
+	res.undrained = tb.UndrainedBypassedFlows()
+	return res
+}
+
+// TestChaosCampaign is the acceptance gate: >= 100 seeds of the canonical
+// chaos scenario (a dozen under -short), each run in both modes. Safety
+// invariants are strict per seed; goodput is judged per the calibration
+// note at the top of this file.
+func TestChaosCampaign(t *testing.T) {
+	seeds := int64(100)
+	if testing.Short() {
+		seeds = 12
+	}
+	var aggFast, aggBase float64
+	var bypasses, drains int64
+	worstSeed, worstRatio := int64(-1), 1e9
+	for seed := int64(1); seed <= seeds; seed++ {
+		fast := runChaosSeed(seed, FastACK)
+		base := runChaosSeed(seed, Baseline)
+
+		// Safety: strict, per seed.
+		if len(fast.violations) != 0 {
+			t.Fatalf("seed %d: invariant violations: %v", seed, fast.violations)
+		}
+		if fast.undrained != 0 {
+			t.Fatalf("seed %d: %d bypassed flows still owe fast-ACK debt after drain tail",
+				seed, fast.undrained)
+		}
+		// The scenario must actually exercise the fault plane.
+		if fast.faults.WireDrops == 0 {
+			t.Fatalf("seed %d: chaos profile injected no wire loss", seed)
+		}
+
+		ft, bt := fast.total(), base.total()
+		aggFast += ft
+		aggBase += bt
+		for _, st := range fast.agentStats {
+			bypasses += st.GuardBypasses
+			drains += st.GuardDrains
+		}
+		if bt > 0 {
+			if ratio := ft / bt; ratio < worstRatio {
+				worstRatio, worstSeed = ratio, seed
+			}
+		}
+	}
+	t.Logf("campaign: %d seeds, aggregate FastACK %.1f vs Baseline %.1f Mbps (ratio %.3f), worst seed %d ratio %.3f, bypasses=%d drains=%d",
+		seeds, aggFast, aggBase, aggFast/aggBase, worstSeed, worstRatio, bypasses, drains)
+	if worstRatio < chaosPerSeed {
+		t.Fatalf("seed %d: FastACK goodput collapsed to %.3fx baseline (floor %.2f)",
+			worstSeed, worstRatio, chaosPerSeed)
+	}
+	if aggFast < chaosCampaign*aggBase {
+		t.Fatalf("campaign aggregate %.1f Mbps under %.2fx of baseline %.1f Mbps",
+			aggFast, chaosCampaign, aggBase)
+	}
+}
+
+// TestDataChaosDeterminism replays one chaos seed twice and requires
+// byte-identical outcomes: same agent counters, same fault tallies, same
+// per-client goodput. This is what makes a chaos-campaign failure
+// reproducible from nothing but its seed.
+func TestDataChaosDeterminism(t *testing.T) {
+	a := runChaosSeed(17, FastACK)
+	b := runChaosSeed(17, FastACK)
+	if len(a.agentStats) != len(b.agentStats) {
+		t.Fatalf("agent count diverged: %d vs %d", len(a.agentStats), len(b.agentStats))
+	}
+	for i := range a.agentStats {
+		if a.agentStats[i] != b.agentStats[i] {
+			t.Fatalf("AP %d agent stats diverged:\n  %+v\n  %+v", i, a.agentStats[i], b.agentStats[i])
+		}
+	}
+	if a.faults != b.faults {
+		t.Fatalf("fault counters diverged:\n  %+v\n  %+v", a.faults, b.faults)
+	}
+	for i := range a.goodputs {
+		if a.goodputs[i] != b.goodputs[i] {
+			t.Fatalf("client %d goodput diverged: %v vs %v", i, a.goodputs[i], b.goodputs[i])
+		}
+	}
+	if a.undrained != b.undrained {
+		t.Fatalf("undrained count diverged: %d vs %d", a.undrained, b.undrained)
+	}
+}
+
+// TestRoamingExportImportUnderDataChaos hardens the §5.5.4 roam path:
+// client 0 roams between two FastACK APs mid-flow while the full chaos
+// profile is active (including an AP-1 uplink blackout that ends just
+// before the roam lands). The transferred flow must keep moving bytes on
+// the new AP and the run must stay invariant-clean.
+func TestRoamingExportImportUnderDataChaos(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Seed = 8
+	opt.APModes = []Mode{FastACK, FastACK}
+	opt.ClientsPerAP = 2
+	opt.Warmup = 500 * sim.Millisecond
+	opt.DataFaults = chaosProfile(8)
+	opt.FastACK.CheckInvariants = true
+	tb := New(opt)
+
+	const roamer = 0
+	var bytesAtRoam int64
+	tb.Engine.Schedule(1250*sim.Millisecond, func(*sim.Engine) {
+		bytesAtRoam = tb.Clients[roamer].Receiver.Stats().BytesReceived
+	})
+	tb.Run(chaosDur)
+
+	c := tb.Clients[roamer]
+	if c.AP.Index != 1 {
+		t.Fatalf("client still on AP %d after scheduled roam", c.AP.Index)
+	}
+	after := c.Receiver.Stats().BytesReceived - bytesAtRoam
+	if after < 256<<10 {
+		t.Fatalf("flow moved only %d bytes on the roam-to AP under chaos", after)
+	}
+	if tb.APs[1].Agent.Stats().FastAcksSent == 0 {
+		t.Fatal("roam-to agent never fast-acked")
+	}
+	tb.Engine.RunUntil(chaosDrainTo)
+	if v := tb.AgentViolations(); len(v) != 0 {
+		t.Fatalf("invariant violations across roam under chaos: %v", v)
+	}
+	if n := tb.UndrainedBypassedFlows(); n != 0 {
+		t.Fatalf("%d bypassed flows still owe debt after roam under chaos", n)
+	}
+}

@@ -71,8 +71,16 @@ func (ap *AP) onWirelessAck(m *mac.MPDU, ok bool, now sim.Time) {
 	if ap.Agent == nil {
 		return
 	}
+	c, found := ap.clientsByAddr[m.Dgram.IP.Dst]
+	if found && ap.tb.dataInj.DropBAFeedback(c.Index, now) {
+		// The block-ACK feedback never reaches the agent: the frame's fate
+		// over the air is unchanged (the client got or did not get it), but
+		// the fast-ACK pipeline goes blind for the loss burst.
+		ap.tb.Faults.BADrops++
+		return
+	}
 	disp := ap.Agent.HandleWirelessAck(m.Dgram, ok)
-	if c, found := ap.clientsByAddr[m.Dgram.IP.Dst]; found {
+	if found {
 		ap.route(disp, c, m.AC)
 	}
 }
@@ -81,6 +89,14 @@ func (ap *AP) onWirelessAck(m *mac.MPDU, ok bool, now sim.Time) {
 // client data headed for the wire.
 func (ap *AP) fromWireless(m *mac.MPDU) {
 	d := m.Dgram
+	if c, found := ap.clientsByAddr[d.IP.Src]; found &&
+		ap.tb.dataInj.Disconnected(c.Index, ap.tb.Engine.Now()) {
+		// The client's uplink is dead (roam gap, interference shadow):
+		// frames transmit but nothing the client says reaches the AP. The
+		// fault is mode-independent — a Baseline AP loses the same ACKs.
+		ap.tb.Faults.UplinkDrops++
+		return
+	}
 	ap.trackTCPAck(d)
 
 	if ap.Agent == nil {

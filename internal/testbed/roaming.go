@@ -47,8 +47,12 @@ func (tb *Testbed) Roam(clientIdx, toAP int) error {
 			resync := to.Agent.Import(ex)
 			from.Agent.Drop(flow)
 			// Re-advertise the window from the new AP so a sender stalled
-			// on the roam-from AP's last advertisement resumes.
-			tb.wireToSender(resync)
+			// on the roam-from AP's last advertisement resumes. A bypassed
+			// flow yields no resync ACK — it no longer impersonates the
+			// client.
+			if resync != nil {
+				tb.wireToSender(resync)
+			}
 			// Re-drive the cache into the roam-to radio: the flushed
 			// frames reach the client ahead of any end-to-end repair.
 			for _, d := range ex.Cache {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"repro/internal/fastack"
+	"repro/internal/faults"
 	"repro/internal/mac"
 	"repro/internal/packet"
 	"repro/internal/pcap"
@@ -81,6 +82,15 @@ type Options struct {
 
 	// Fading configures link-SNR dynamics (see fading.go).
 	Fading FadingOptions
+
+	// DataFaults, when non-nil, injects seeded data-path chaos (see
+	// internal/faults.DataProfile): wired-side segment loss / reorder /
+	// duplication / corruption on downlink data, block-ACK feedback loss
+	// bursts at FastACK APs, client uplink disconnect windows, and
+	// scheduled mid-flow roams. Wired and disconnect faults are
+	// mode-independent so Baseline and FastACK runs at one seed face the
+	// same adversity.
+	DataFaults *faults.DataProfile
 
 	// APSharedPool is the AP driver's shared tx-descriptor pool in MPDUs.
 	APSharedPool int
@@ -199,7 +209,21 @@ type Testbed struct {
 	AggAP        map[int]*stats.Sample // per-AP A-MPDU sizes (downlink data frames)
 	AggPerClient map[int]*stats.Sample // per-client aggregate sizes
 
+	// Faults counts injected data-path faults (zero without DataFaults).
+	Faults FaultCounters
+
+	dataInj    *faults.DataInjector
 	warmupDone bool
+}
+
+// FaultCounters tallies the data-path faults actually injected.
+type FaultCounters struct {
+	WireDrops    int64
+	WireReorders int64
+	WireDups     int64
+	WireCorrupts int64
+	BADrops      int64 // block-ACK feedback events lost before the agent
+	UplinkDrops  int64 // client uplink frames lost to disconnect windows
 }
 
 // New constructs and wires a testbed.
@@ -235,6 +259,7 @@ func New(opt Options) *Testbed {
 		AggAP:        map[int]*stats.Sample{},
 		AggPerClient: map[int]*stats.Sample{},
 	}
+	tb.dataInj = faults.NewData(opt.DataFaults)
 	tb.Medium = mac.NewMedium(tb.Engine, 35)
 	tb.Medium.OnFrame = tb.onFrame
 	if opt.AirCapture != nil {
@@ -323,12 +348,62 @@ func (tb *Testbed) addClient(ap *AP, idx int) {
 }
 
 // wireToAP delivers a datagram from the wired sender to the AP after the
-// switch latency.
+// switch latency, applying any configured wired-side data faults to TCP
+// payload segments (handshake and pure-ACK control traffic is spared so a
+// chaos run still converges through connection setup).
 func (tb *Testbed) wireToAP(ap *AP, d *packet.Datagram) {
 	tb.capture(d)
-	tb.Engine.After(tb.Opt.WiredDelay, func(e *sim.Engine) {
+	delay := tb.Opt.WiredDelay
+	if dj := tb.dataInj; dj != nil && d.TCP != nil && d.PayloadLen > 0 {
+		ci := clientIndexOf(d.IP.Dst)
+		seq := d.TCP.Seq
+		att := dj.SegmentArrival(ci, seq)
+		if dj.DropSegment(ci, seq, att) {
+			tb.Faults.WireDrops++
+			return
+		}
+		if dj.CorruptSegment(ci, seq, att) {
+			tb.Faults.WireCorrupts++
+			d = corruptSegment(d, dj.CorruptU32(ci, seq, 0, att))
+		}
+		if extra, ok := dj.ReorderSegment(ci, seq, att); ok {
+			tb.Faults.WireReorders++
+			delay += extra
+		}
+		if dj.DuplicateSegment(ci, seq, att) {
+			tb.Faults.WireDups++
+			dup := d.Clone()
+			tb.Engine.After(delay+50*sim.Microsecond, func(e *sim.Engine) {
+				ap.fromWire(dup)
+			})
+		}
+	}
+	tb.Engine.After(delay, func(e *sim.Engine) {
 		ap.fromWire(d)
 	})
+}
+
+// clientIndexOf recovers the client index from its 10.0.1.x address.
+func clientIndexOf(a packet.IPv4Addr) int {
+	v := uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	return int(v - 0x0a000100)
+}
+
+// corruptSegment returns a clone of d with its TCP sequence number mangled
+// the way a corrupted-but-checksum-colliding header presents: a jump far
+// beyond the receive window, a fallback below it, or bit garbage. The
+// original datagram is untouched (the sender still owns it).
+func corruptSegment(d *packet.Datagram, garbage uint32) *packet.Datagram {
+	c := d.Clone()
+	switch garbage % 3 {
+	case 0:
+		c.TCP.Seq += 32<<20 + garbage%(1<<20) // implausible forward jump
+	case 1:
+		c.TCP.Seq -= 1 << 16 // stale: far below anything outstanding
+	default:
+		c.TCP.Seq ^= garbage // wild bits
+	}
+	return c
 }
 
 // capture appends a datagram to the optional pcap stream.
@@ -375,6 +450,15 @@ func (tb *Testbed) Run(duration sim.Time) {
 				func(d *packet.Datagram) { tb.wireToAP(ap, d) })
 		}
 	}
+	// Scheduled mid-flow roams from the data-fault profile.
+	for _, r := range tb.dataInj.Roams() {
+		r := r
+		tb.Engine.Schedule(r.At, func(e *sim.Engine) {
+			if r.Client < len(tb.Clients) && r.ToAP < len(tb.APs) {
+				_ = tb.Roam(r.Client, r.ToAP)
+			}
+		})
+	}
 	// Latch warmup counters.
 	tb.Engine.Schedule(opt.Warmup, func(e *sim.Engine) {
 		tb.warmupDone = true
@@ -408,6 +492,56 @@ func (c *Client) GoodputMbps(duration sim.Time) float64 {
 	}
 	bytes := total - c.warmupBytes
 	return float64(bytes) * 8 / span.Seconds() / 1e6
+}
+
+// AgentStatsPerAP snapshots each AP's FastACK agent counters (a zero
+// Stats for Baseline APs), in AP order — the chaos suite's determinism
+// fingerprint.
+func (tb *Testbed) AgentStatsPerAP() []fastack.Stats {
+	out := make([]fastack.Stats, len(tb.APs))
+	for i, ap := range tb.APs {
+		if ap.Agent != nil {
+			out[i] = ap.Agent.Stats()
+		}
+	}
+	return out
+}
+
+// InvariantViolations sums runtime safety-invariant trips across every
+// FastACK agent (requires Options.FastACK.CheckInvariants).
+func (tb *Testbed) InvariantViolations() int64 {
+	var n int64
+	for _, ap := range tb.APs {
+		if ap.Agent != nil {
+			n += ap.Agent.Stats().InvariantViolations
+		}
+	}
+	return n
+}
+
+// AgentViolations collects the retained invariant-violation messages from
+// every FastACK agent.
+func (tb *Testbed) AgentViolations() []string {
+	var out []string
+	for _, ap := range tb.APs {
+		if ap.Agent != nil {
+			out = append(out, ap.Agent.Violations()...)
+		}
+	}
+	return out
+}
+
+// UndrainedBypassedFlows counts flows across all agents that were
+// bypassed by the guard and still carry fast-ACK debt. After a drain
+// window with the clients reachable, a healthy fleet reads zero.
+func (tb *Testbed) UndrainedBypassedFlows() int {
+	n := 0
+	for _, ap := range tb.APs {
+		if ap.Agent != nil {
+			n += ap.Agent.UndrainedBypassedFlows()
+		}
+	}
+	return n
 }
 
 // onFrame feeds the aggregation collectors.
