@@ -23,9 +23,9 @@ COVER_FLOOR_FASTACK = 90
 # brief live search so verify catches shallow regressions in new code.
 FUZZTIME = 5s
 
-.PHONY: verify vet build test race chaos cover fuzz bench
+.PHONY: verify vet build test race chaos cover fuzz bench bench-json
 
-verify: vet build test race chaos cover fuzz
+verify: vet build test race chaos cover fuzz bench-json
 
 vet:
 	$(GO) vet ./...
@@ -80,3 +80,12 @@ fuzz:
 # Planner scaling numbers (BenchmarkRunNBO sweeps Workers on ~600 APs).
 bench:
 	$(GO) test -run=NONE -bench=RunNBO -benchmem ./internal/turboca/...
+
+# Machine-readable benchmark artifacts: BENCH_planner.json (one i=0 pass
+# over the ~600-AP chain) and BENCH_fleetd.json (bytes/network and
+# passes/sec at 10k networks). Non-failing by design — the artifacts are
+# a by-product of verify, not a gate; regressions are judged by a human
+# diffing the JSON, so a slow machine cannot fail the build.
+bench-json:
+	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkPlannerPass$$' -benchtime=1x ./internal/turboca
+	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkFleetd10kNetworks$$' -benchtime=1x -timeout 30m ./internal/fleetd

@@ -32,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 2017, "fleet synthesis and control-plane seed")
 	budget := flag.Int("budget", 0, "max planning passes per scheduler tick; excess sheds deepest-first (0 = unlimited)")
 	chaos := flag.Bool("chaos", false, "inject the default chaos fault profile into every network's control path")
+	noSkip := flag.Bool("no-dirty-skip", false, "disable dirty-driven elision of provably no-op fast passes (results are identical either way)")
 	metricsAddr := flag.String("metrics", "", "serve metrics JSON (/metrics), text (/metrics.txt), span traces (/trace), and net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 		Shards:           *shards,
 		Workers:          *workers,
 		MaxPassesPerTick: *budget,
+		DisableDirtySkip: *noSkip,
 		Backend:          opt,
 		Obs:              reg,
 	})
@@ -82,8 +84,8 @@ func main() {
 // hourLine condenses the fleet state into one progress line.
 func hourLine(c *fleetd.Controller) string {
 	s := c.Snapshot()
-	return fmt.Sprintf("passes i0=%d i1=%d i2=%d shed=%d converged=%d/%d switches=%d logNetP5.p50=%.1f\n",
-		s.Passes[0], s.Passes[1], s.Passes[2],
+	return fmt.Sprintf("passes i0=%d i1=%d i2=%d skipped=%d shed=%d converged=%d/%d switches=%d logNetP5.p50=%.1f\n",
+		s.Passes[0], s.Passes[1], s.Passes[2], c.SkippedFastPasses(),
 		s.Shed[0]+s.Shed[1]+s.Shed[2],
 		s.ConvergedNets, len(s.Networks), s.TotalSwitches, s.LogNetP5.P50)
 }

@@ -1,0 +1,65 @@
+// Command memprobe measures the fleet control plane's steady-state
+// resident memory: it registers a synthesized fleet, runs one fast
+// cadence window (which lazily builds every network and runs its first
+// pass), and reports heap bytes per network. With -heapprofile it also
+// writes a live pprof heap snapshot while the fleet is resident, which is
+// how the per-network footprint gets attributed (the numbers in
+// DESIGN.md's fleet-scale section come from this probe).
+//
+// Usage:
+//
+//	memprobe -networks 10000
+//	memprobe -networks 1000 -heapprofile heap.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/fleet"
+	"repro/internal/fleetd"
+	"repro/internal/sim"
+)
+
+func main() {
+	networks := flag.Int("networks", 10000, "number of synthesized networks")
+	windows := flag.Int("windows", 1, "15-minute cadence windows to run before measuring")
+	heapProfile := flag.String("heapprofile", "", "write a live pprof heap snapshot to this file")
+	noSkip := flag.Bool("no-dirty-skip", false, "disable dirty-driven fast-pass elision")
+	flag.Parse()
+
+	f := fleet.Generate(fleet.Options{Seed: 20170811, Networks: *networks})
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	c := fleetd.New(fleetd.Config{
+		Seed: 1, Fast: 15 * sim.Minute, Mid: -1, Deep: -1,
+		DisableDirtySkip: *noSkip,
+	})
+	c.AddFleet(f)
+	for i := 0; i < *windows; i++ {
+		c.Run(15 * sim.Minute)
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if *heapProfile != "" {
+		w, err := os.Create(*heapProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "heapprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.WriteHeapProfile(w); err != nil {
+			fmt.Fprintln(os.Stderr, "heapprofile:", err)
+		}
+		w.Close()
+	}
+	fmt.Printf("networks: %d\n", c.Len())
+	fmt.Printf("bytes/net: %.0f\n", float64(int64(after.HeapAlloc)-int64(before.HeapAlloc))/float64(*networks))
+	fmt.Printf("skipped fast invocations: %d\n", c.SkippedFastPasses())
+}

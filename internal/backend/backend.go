@@ -69,6 +69,13 @@ type Options struct {
 	Planner turboca.Config
 	// AllowDFS admits DFS channels on 5 GHz.
 	AllowDFS bool
+	// DirtySkip lets the planning service elide fast (i=0) passes whose
+	// telemetry digest matches the last provably no-op pass (see
+	// turboca.Service.DirtySkip — skipping is exact, never heuristic).
+	// Off by default for standalone backends; fleetd enables it
+	// fleet-wide, where steady-state networks make most fast passes
+	// no-ops.
+	DirtySkip bool
 	// RadarEventsPerDay injects DFS radar detections across the network
 	// at this mean rate (0 disables; see radar.go).
 	RadarEventsPerDay float64
@@ -114,6 +121,16 @@ type Options struct {
 	// multi-week simulations do not grow tables unboundedly (default
 	// 14 days; negative disables).
 	Retention sim.Time
+
+	// DisableTelemetryHistory skips the per-AP history tables (usage,
+	// utilization, tcp_latency, bitrate_eff, disruption) that back the
+	// Report API. Planning is unaffected: the planner consumes the
+	// in-memory last-known-good reports, never the history tables, and
+	// every rng draw still happens so all downstream streams are
+	// byte-identical with history on or off. fleetd sets this — at fleet
+	// scale the history rows dominate per-network resident memory, and
+	// fleet reporting runs off the shared fleet store instead.
+	DisableTelemetryHistory bool
 }
 
 // DefaultOptions returns the production cadences.
@@ -216,6 +233,18 @@ type Backend struct {
 	obsReg  *obs.Registry
 	ctl     *ctlMetrics
 	ctlBase ControlStats
+
+	// inputTmpl caches the static part of each band's planner input — ID,
+	// width cap, client mix, external interference, neighbor lists — all
+	// pure functions of the scenario's fixed geometry and population.
+	// PlannerInput copies the template and fills in only the measured
+	// fields, turning the per-pass snapshot from O(n²) neighbor geometry
+	// plus per-client walks into a memcpy. The template's maps and
+	// neighbor slices are shared across snapshots: Sanitize only ever
+	// mutates invalid entries, which a template built from in-repo
+	// generators never contains, and the planner treats views as
+	// read-only.
+	inputTmpl map[spectrum.Band][]turboca.APView
 }
 
 // New wires a backend over a scenario.
@@ -238,7 +267,7 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 		Scenario:  sc,
 		Engine:    engine,
 		DB:        littletable.NewDB(),
-		rng:       rand.New(rand.NewSource(opt.Seed)),
+		rng:       sim.NewRNG(opt.Seed),
 		faults:    faults.New(opt.Faults),
 		fallbacks: map[int]spectrum.Channel{},
 		reports:   map[int]*apReport{},
@@ -247,6 +276,7 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 		obsReg:    reg,
 		ctl:       ctl,
 		ctlBase:   ctl.read(),
+		inputTmpl: map[spectrum.Band][]turboca.APView{},
 	}
 	if opt.Retention > 0 {
 		b.DB.SetRetention(opt.Retention)
@@ -255,6 +285,7 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 	if opt.Algorithm == AlgTurboCA {
 		b.Service = turboca.NewService(opt.Planner, b.PlannerInput, b.applyPlan, opt.Seed)
 		b.Service.MaxStaleFraction = opt.MaxStaleFraction
+		b.Service.DirtySkip = opt.DirtySkip
 	}
 	return b
 }
@@ -311,7 +342,9 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 		in.MaxWidth = spectrum.W20
 	}
 	perf := b.Model.Evaluate(now)
-	for _, ap := range b.Scenario.APs {
+	in.APs = append([]turboca.APView(nil), b.inputTemplate(band, in.MaxWidth)...)
+	for i, ap := range b.Scenario.APs {
+		v := &in.APs[i]
 		cur := ap.Channel
 		if band == spectrum.Band2G4 {
 			cur = ap.Channel24
@@ -322,7 +355,7 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 		// Clients dissociate off-hours; that is when the deep NBO passes
 		// can migrate APs onto DFS channels without stranding anyone
 		// through a CAC (§4.5.2).
-		hasClients := len(ap.Clients) > 0 && demand > 0.15*ap.BaseDemandMbps
+		hasClients := ap.ClientCount() > 0 && demand > 0.15*ap.BaseDemandMbps
 		stale, pinned := false, false
 		if rep, ok := b.reports[ap.ID]; ok {
 			age := now - rep.At
@@ -347,25 +380,55 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 				hasClients = rep.HasClients
 			}
 		}
-		v := turboca.APView{
-			ID:           ap.ID,
-			Current:      cur,
-			MaxWidth:     minWidth(in.MaxWidth, ap.MaxWidth),
-			HasClients:   hasClients,
-			CSAFraction:  csaFraction(ap),
-			Load:         normalizeLoad(demand),
-			WidthLoad:    widthLoad(ap),
-			Utilization:  util,
-			ExternalUtil: b.externalUtilMap(ap, band),
-			Stale:        stale,
-			Pinned:       pinned,
-		}
-		for _, n := range b.Scenario.NeighborsOf(ap) {
-			v.Neighbors = append(v.Neighbors, n.AP.ID)
-		}
-		in.APs = append(in.APs, v)
+		v.Current = cur
+		v.HasClients = hasClients
+		v.Load = normalizeLoad(demand)
+		v.Utilization = util
+		v.Stale = stale
+		v.Pinned = pinned
 	}
 	return in
+}
+
+// inputTemplate returns (building on first use) the band's static APView
+// skeleton, in Scenario.APs order. Geometry, client populations, and
+// interferers never change after scenario generation, so everything here
+// is computed exactly once per (backend, band).
+func (b *Backend) inputTemplate(band spectrum.Band, maxW spectrum.Width) []turboca.APView {
+	if tmpl, ok := b.inputTmpl[band]; ok {
+		return tmpl
+	}
+	// The client width mix and the neighbor graph are band-independent;
+	// when the other band's template already exists, alias its maps and
+	// slices instead of rebuilding them. Planner views are read-only and
+	// Sanitize's in-place neighbor rewrite preserves valid entries, so
+	// aliasing is safe — and it halves the template footprint, which
+	// matters when fleetd holds one backend per network resident.
+	var donor []turboca.APView
+	for _, t := range b.inputTmpl {
+		donor = t
+	}
+	tmpl := make([]turboca.APView, 0, len(b.Scenario.APs))
+	for i, ap := range b.Scenario.APs {
+		v := turboca.APView{
+			ID:           ap.ID,
+			MaxWidth:     minWidth(maxW, ap.MaxWidth),
+			CSAFraction:  csaFraction(ap),
+			ExternalUtil: b.externalUtilMap(ap, band),
+		}
+		if donor != nil {
+			v.WidthLoad = donor[i].WidthLoad
+			v.Neighbors = donor[i].Neighbors
+		} else {
+			v.WidthLoad = widthLoad(ap)
+			for _, n := range b.Scenario.NeighborsOf(ap) {
+				v.Neighbors = append(v.Neighbors, n.AP.ID)
+			}
+		}
+		tmpl = append(tmpl, v)
+	}
+	b.inputTmpl[band] = tmpl
+	return tmpl
 }
 
 func minWidth(a, bw spectrum.Width) spectrum.Width {
@@ -376,6 +439,12 @@ func minWidth(a, bw spectrum.Width) spectrum.Width {
 }
 
 func csaFraction(ap *topo.AP) float64 {
+	if agg := ap.ClientAgg; agg != nil {
+		if agg.Count == 0 {
+			return 1
+		}
+		return float64(agg.CSACount) / float64(agg.Count)
+	}
 	if len(ap.Clients) == 0 {
 		return 1
 	}
@@ -400,6 +469,25 @@ func normalizeLoad(mbps float64) float64 {
 // widthLoad computes load(b): usage-weighted share of clients by max
 // width.
 func widthLoad(ap *topo.AP) map[spectrum.Width]float64 {
+	if agg := ap.ClientAgg; agg != nil {
+		// Iterate widths in the fixed spectrum order, not map order: the
+		// float sum must be bitwise-stable across calls so telemetry
+		// digests (turboca.Input.Digest) are reproducible.
+		total := 0.0
+		for _, w := range spectrum.Widths {
+			total += agg.WidthLoad[w]
+		}
+		if total == 0 {
+			return map[spectrum.Width]float64{spectrum.W20: 1}
+		}
+		out := map[spectrum.Width]float64{}
+		for _, w := range spectrum.Widths {
+			if s := agg.WidthLoad[w]; s > 0 {
+				out[w] = s / total
+			}
+		}
+		return out
+	}
 	out := map[spectrum.Width]float64{}
 	total := 0.0
 	for _, c := range ap.Clients {

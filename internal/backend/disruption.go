@@ -24,28 +24,41 @@ const (
 // disruptionSeconds estimates the total client outage caused by switching
 // ap's channel now.
 func (b *Backend) disruptionSeconds(ap *topo.AP, now sim.Time) float64 {
-	if len(ap.Clients) == 0 {
+	if ap.ClientCount() == 0 {
 		return 0
+	}
+	// Device-class counts come from whichever client representation the
+	// AP carries. The aggregate preserves the per-client walk exactly:
+	// the same mobile/laptop partition, and — because every rescan term
+	// is an integer number of seconds, so float addition is associative
+	// here — the same total; the rng below is drawn exactly once per
+	// CSA-capable client either way, keeping the stream bit-identical.
+	csa, mobile, laptop := 0, 0, 0
+	if agg := ap.ClientAgg; agg != nil {
+		csa, mobile, laptop = agg.CSACount, agg.NonCSAMobile, agg.NonCSALaptop
+	} else {
+		for i, c := range ap.Clients {
+			switch {
+			case c.SupportsCSA:
+				csa++
+			case i%2 == 0:
+				// Half the population behaves like mobile devices.
+				mobile++
+			default:
+				laptop++
+			}
+		}
 	}
 	// Clients present only in proportion to the current load.
 	activeFrac := 0.0
 	if ap.BaseDemandMbps > 0 {
 		activeFrac = b.Scenario.DemandAt(ap, now) / ap.BaseDemandMbps
 	}
-	total := 0.0
-	for i, c := range ap.Clients {
-		if !c.SupportsCSA {
-			// Half the population behaves like mobile devices.
-			if i%2 == 0 {
-				total += mobileRescan.Seconds()
-			} else {
-				total += laptopRescan.Seconds()
-			}
-		}
-		// CSA-capable clients still occasionally miss the beacons
-		// (§4.3.1: "beacons might be missed even by clients that do
-		// support CSAs").
-		if c.SupportsCSA && b.rng.Float64() < 0.05 {
+	total := float64(mobile)*mobileRescan.Seconds() + float64(laptop)*laptopRescan.Seconds()
+	// CSA-capable clients still occasionally miss the beacons (§4.3.1:
+	// "beacons might be missed even by clients that do support CSAs").
+	for i := 0; i < csa; i++ {
+		if b.rng.Float64() < 0.05 {
 			total += laptopRescan.Seconds()
 		}
 	}
@@ -62,10 +75,12 @@ func (b *Backend) chargeSwitch(ap *topo.AP, band spectrum.Band, now sim.Time) {
 	}
 	secs := b.disruptionSeconds(ap, now)
 	b.disruptionTotal += secs
-	b.DB.Table("disruption").Insert(ap.Name, now, map[string]float64{
-		"seconds": secs,
-		"band":    float64(band),
-	})
+	if !b.Opt.DisableTelemetryHistory {
+		b.DB.Table("disruption").Insert(ap.Name, now, map[string]float64{
+			"seconds": secs,
+			"band":    float64(band),
+		})
+	}
 }
 
 // DisruptionSeconds returns the cumulative client outage charged to

@@ -63,7 +63,7 @@ type extKey struct {
 func NewModel(sc *topo.Scenario, seed int64) *Model {
 	m := &Model{
 		sc:         sc,
-		rng:        rand.New(rand.NewSource(seed)),
+		rng:        sim.NewRNG(seed),
 		capByWidth: map[spectrum.Width]float64{},
 		neighbors:  map[int][]topo.Neighbor{},
 		dirty:      true,

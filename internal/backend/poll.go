@@ -88,11 +88,11 @@ func (b *Backend) Poll() {
 			demand: demand, util: util,
 			served:      p.ServedMbps,
 			servedBytes: p.ServedMbps * 1e6 / 8 * interval.Seconds(),
-			clients:     float64(len(ap.Clients)),
+			clients:     float64(ap.ClientCount()),
 			// Clients dissociate off-hours; that is when the deep NBO
 			// passes can migrate APs onto DFS channels without stranding
 			// anyone through a CAC (§4.5.2).
-			hasClients: len(ap.Clients) > 0 && p.DemandMbps > 0.15*ap.BaseDemandMbps,
+			hasClients: ap.ClientCount() > 0 && p.DemandMbps > 0.15*ap.BaseDemandMbps,
 			latencies:  make([]float64, n),
 			effs:       make([]float64, n),
 		}
@@ -103,6 +103,11 @@ func (b *Backend) Poll() {
 		for i := 0; i < n; i++ {
 			s.latencies[i] = b.Model.SampleTCPLatency(p, b.rng)
 			s.effs[i] = b.Model.SampleBitrateEff(p, b.rng)
+		}
+		if b.Opt.DisableTelemetryHistory {
+			// The draws above still consumed b.rng (the stream must not
+			// depend on whether history is kept); only the rows are dropped.
+			s.latencies, s.effs = nil, nil
 		}
 		if d, ok := b.faults.DelayPoll(ap.ID, now); ok {
 			b.ctl.pollsDelayed.Inc()
@@ -125,24 +130,27 @@ func (b *Backend) ingest(s polledSample) {
 		b.ctl.pollsRejected.Inc()
 		return
 	}
-	key := s.ap.Name
-	b.DB.Table("usage").Insert(key, s.at, map[string]float64{
-		"bytes":   s.servedBytes,
-		"demand":  s.demand,
-		"served":  s.served,
-		"clients": s.clients,
-	})
-	b.DB.Table("utilization").InsertValue(key, s.at, "util", s.util)
-	// The per-transmission samples land as one batch per table: one lock
-	// round-trip for the AP's whole sample set instead of one per sample.
-	latRows := make([]littletable.Row, len(s.latencies))
-	effRows := make([]littletable.Row, len(s.effs))
-	for i := range s.latencies {
-		latRows[i] = littletable.Row{At: s.at, Fields: map[string]float64{"ms": s.latencies[i]}}
-		effRows[i] = littletable.Row{At: s.at, Fields: map[string]float64{"eff": s.effs[i]}}
+	if !b.Opt.DisableTelemetryHistory {
+		key := s.ap.Name
+		b.DB.Table("usage").Insert(key, s.at, map[string]float64{
+			"bytes":   s.servedBytes,
+			"demand":  s.demand,
+			"served":  s.served,
+			"clients": s.clients,
+		})
+		b.DB.Table("utilization").InsertValue(key, s.at, "util", s.util)
+		// The per-transmission samples land as one batch per table: one
+		// lock round-trip for the AP's whole sample set instead of one per
+		// sample.
+		latRows := make([]littletable.Row, len(s.latencies))
+		effRows := make([]littletable.Row, len(s.effs))
+		for i := range s.latencies {
+			latRows[i] = littletable.Row{At: s.at, Fields: map[string]float64{"ms": s.latencies[i]}}
+			effRows[i] = littletable.Row{At: s.at, Fields: map[string]float64{"eff": s.effs[i]}}
+		}
+		b.DB.Table("tcp_latency").InsertBatch(key, latRows)
+		b.DB.Table("bitrate_eff").InsertBatch(key, effRows)
 	}
-	b.DB.Table("tcp_latency").InsertBatch(key, latRows)
-	b.DB.Table("bitrate_eff").InsertBatch(key, effRows)
 	// A delayed report may arrive after a fresher one already landed;
 	// last-known-good is ordered by sample time, not delivery time.
 	if rep, ok := b.reports[s.ap.ID]; !ok || s.at >= rep.At {

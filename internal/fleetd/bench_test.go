@@ -1,11 +1,35 @@
 package fleetd
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
+
+// writeBenchJSON writes a machine-readable benchmark artifact into
+// $BENCH_JSON_DIR (no-op when unset). `make bench-json` sets the
+// directory; the verify target carries the artifact as a non-failing
+// by-product.
+func writeBenchJSON(b *testing.B, name string, payload map[string]float64) {
+	dir := os.Getenv("BENCH_JSON_DIR")
+	if dir == "" || name == "" {
+		return
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Logf("bench json: %v", err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644); err != nil {
+		b.Logf("bench json: %v", err)
+	}
+}
 
 // BenchmarkFleetd1000Networks measures one full i=0 fleet pass: every
 // network of a 1000-network synthetic fleet polls, plans, and ingests
@@ -29,4 +53,79 @@ func BenchmarkFleetd1000Networks(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(aps), "aps")
 	b.ReportMetric(float64(c.met.ingestRows.Value())/float64(b.N), "rows/op")
+}
+
+// benchFleetScale is the fleet-scale benchmark body: register a fleet,
+// run one warm-up cadence window (which lazily builds every network and
+// converges most plans), measure steady-state resident bytes/network, and
+// then time whole fleet-wide i=0 sweeps. Deeper cadences are disabled so
+// each iteration is exactly networks i=0 passes.
+func benchFleetScale(b *testing.B, networks int, artifact string) {
+	f := fleet.Generate(fleet.Options{Seed: 20170811, Networks: networks})
+	aps := 0
+	for _, n := range f.Networks {
+		aps += len(n.APs)
+	}
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	reg := obs.NewRegistry()
+	c := New(Config{Seed: 1, Fast: 15 * sim.Minute, Mid: -1, Deep: -1, Obs: reg})
+	c.AddFleet(f)
+	c.Run(15 * sim.Minute) // build + first pass: the steady state
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	bytesPerNet := float64(int64(after.HeapAlloc)-int64(before.HeapAlloc)) / float64(networks)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Run(15 * sim.Minute)
+	}
+	b.StopTimer()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+
+	passes := float64(networks) * float64(b.N)
+	passesPerSec := passes / b.Elapsed().Seconds()
+	fast := float64(c.met.passesRun[levelFast].Value())
+	skipRate := 0.0
+	if fast > 0 {
+		// Each pass plans both bands; SkippedFastPasses counts skipped
+		// band-invocations.
+		skipRate = float64(c.SkippedFastPasses()) / (2 * fast)
+	}
+	allocsPerPass := float64(end.Mallocs-after.Mallocs) / passes
+	b.ReportMetric(bytesPerNet, "bytes/net")
+	b.ReportMetric(passesPerSec, "passes/sec")
+	b.ReportMetric(100*skipRate, "skip%")
+	b.ReportMetric(allocsPerPass, "allocs/pass")
+	writeBenchJSON(b, artifact, map[string]float64{
+		"networks":          float64(networks),
+		"aps":               float64(aps),
+		"bytes_per_network": bytesPerNet,
+		"passes_per_sec":    passesPerSec,
+		"ns_per_pass":       float64(b.Elapsed().Nanoseconds()) / passes,
+		"allocs_per_pass":   allocsPerPass,
+		"skip_rate_i0":      skipRate,
+	})
+}
+
+// BenchmarkFleetd10kNetworks is the tentpole's scaling gauge: bytes of
+// steady-state resident memory per network and fleet-wide i=0 passes/sec
+// at 10k networks. `make bench-json` persists the numbers as
+// BENCH_fleetd.json.
+func BenchmarkFleetd10kNetworks(b *testing.B) {
+	benchFleetScale(b, 10_000, "BENCH_fleetd.json")
+}
+
+// BenchmarkFleetd100kNetworks is the 100k-network smoke: skipped under
+// -short (it takes minutes and several GB of headroom).
+func BenchmarkFleetd100kNetworks(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k-network fleet benchmark skipped under -short")
+	}
+	benchFleetScale(b, 100_000, "")
 }

@@ -68,11 +68,27 @@ type Config struct {
 	// deadline tick than this, the excess is shed, deepest level first.
 	// 0 means unlimited.
 	MaxPassesPerTick int
+	// DisableDirtySkip turns off the planning service's dirty-driven fast
+	// passes. Fleetd enables turboca.Service.DirtySkip by default: on a
+	// steady-state fleet most i=0 passes are provable no-op replays, and
+	// skipping them is exact — snapshots are byte-identical either way
+	// (the invariant TestSnapshotInvariantAcrossShardsAndWorkers pins).
+	// Deep (i>0) passes are never skipped.
+	DisableDirtySkip bool
+	// Retention bounds both the shared fleet store and every per-network
+	// telemetry DB to a trailing window (default 24 h; negative disables).
+	// The fleet control plane only ever reads recent telemetry, and at
+	// 100k networks the per-network history dominates resident memory, so
+	// the fleet default is much tighter than a standalone backend's 14
+	// days.
+	Retention sim.Time
 	// Backend is the per-network control-plane template. Seed is
 	// overridden per network; a non-nil Faults profile is cloned with a
-	// per-network seed; Obs is ignored (each network keeps a private
-	// registry so its Control() deltas stay exact). Zero value means
-	// backend defaults with AlgTurboCA.
+	// per-network seed; Obs is overridden with the controller's registry
+	// (per-network private registries would dominate resident memory at
+	// fleet scale); per-network telemetry history is disabled (the fleet
+	// store is the reporting surface). Zero value means backend defaults
+	// with AlgTurboCA.
 	Backend backend.Options
 	// Obs receives the controller's own "fleetd" scope (default
 	// obs.Default()).
@@ -107,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.Obs == nil {
 		c.Obs = obs.Default()
 	}
+	if c.Retention == 0 {
+		c.Retention = 24 * sim.Hour
+	}
 	return c
 }
 
@@ -122,10 +141,21 @@ type NetOptions struct {
 // worker executing this network's pass (ticks never run a network twice);
 // the accounting fields are written in the controller's serial tick
 // section.
+//
+// Construction is lazy: registration stores only a build closure plus the
+// AP count, and the scenario/engine/backend materialize on the first pass
+// or engine sync (ensureBuilt). Registering a fleet is therefore O(1) per
+// network, and a network's full control plane is only ever resident once
+// the scheduler actually touches it. Laziness cannot perturb results:
+// the engine is deterministic and replays its whole schedule on the first
+// RunUntil, so building at time T is indistinguishable from having built
+// at registration.
 type netState struct {
 	id      int
 	key     string
 	cadence [numLevels]sim.Time // 0 = disabled
+	apCount int
+	build   func() // non-nil until first ensureBuilt
 	sc      *topo.Scenario
 	engine  *sim.Engine
 	be      *backend.Backend
@@ -133,6 +163,18 @@ type netState struct {
 	passes    [numLevels]int
 	shed      [numLevels]int
 	coalesced int
+}
+
+// ensureBuilt materializes the network's control plane. Callers must hold
+// exclusive use of the netState (the per-tick single-worker rule); the
+// build closure is dropped after running so the captured fleet.Network
+// can be collected.
+func (ns *netState) ensureBuilt() {
+	if ns.build != nil {
+		f := ns.build
+		ns.build = nil
+		f()
+	}
 }
 
 type shard struct {
@@ -162,6 +204,9 @@ type Controller struct {
 func New(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{cfg: cfg, db: littletable.NewDB(), met: metricsOn(cfg.Obs)}
+	if cfg.Retention > 0 {
+		c.db.SetRetention(cfg.Retention)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		c.sh = append(c.sh, &shard{nets: map[int]*netState{}})
 	}
@@ -174,6 +219,12 @@ func (c *Controller) DB() *littletable.DB { return c.db }
 
 // Now returns the fleet clock.
 func (c *Controller) Now() sim.Time { return c.now }
+
+// SkippedFastPasses reports how many fast band-invocations the planning
+// services elided as provable no-ops (the fleetd.skipped_i0 counter on
+// this controller's registry). Deliberately not part of Snapshot: a
+// snapshot is byte-identical whether or not skipping is enabled.
+func (c *Controller) SkippedFastPasses() int64 { return c.met.skippedI0.Value() }
 
 // Len returns the number of registered (non-removed) networks.
 func (c *Controller) Len() int {
@@ -199,25 +250,13 @@ func netSeed(seed int64, id int) int64 {
 	return int64(z ^ (z >> 31))
 }
 
-// AddFleet registers every network of a synthesized fleet, constructing
-// the per-network control planes on the worker pool (construction is
-// per-network deterministic, so parallelism is safe) and seeding their
-// cadence deadlines serially in ID order.
+// AddFleet registers every network of a synthesized fleet. Registration
+// only records the build closure and cadence deadlines (see netState), so
+// this is cheap even at 100k networks; the control planes materialize on
+// the worker pool as the scheduler first reaches them.
 func (c *Controller) AddFleet(f *fleet.Fleet) {
-	states := make([]*netState, len(f.Networks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, c.cfg.Workers)
-	for i, n := range f.Networks {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, n *fleet.Network) {
-			defer func() { <-sem; wg.Done() }()
-			states[i] = c.buildNet(n, NetOptions{})
-		}(i, n)
-	}
-	wg.Wait()
-	for _, ns := range states {
-		c.register(ns)
+	for _, n := range f.Networks {
+		c.register(c.buildNet(n, NetOptions{}))
 	}
 }
 
@@ -226,32 +265,49 @@ func (c *Controller) Add(n *fleet.Network, opt NetOptions) {
 	c.register(c.buildNet(n, opt))
 }
 
-// buildNet constructs a network's control plane: scenario, engine,
-// backend, chaos clone — everything derived from netSeed.
+// buildNet prepares a network's registration shell and its deferred
+// control-plane constructor: scenario, engine, backend, chaos clone —
+// everything derived from netSeed, so the build runs identically whenever
+// it fires.
 func (c *Controller) buildNet(n *fleet.Network, opt NetOptions) *netState {
 	seed := netSeed(c.cfg.Seed, n.ID)
-	sc := buildScenario(n, seed)
-	engine := sim.NewEngine(seed ^ 0x0e1f)
 	bopt := c.cfg.Backend
 	bopt.Seed = seed
-	bopt.Obs = nil // private registry: exact per-network Control() deltas
-	bopt.Planner.Obs = nil
+	// All per-network backends share the controller's registry: a private
+	// registry per network would cost ~60 KB of histogram buckets each —
+	// the dominant per-network resident term at fleet scale — and fleetd
+	// never reads per-network Control() deltas. Counters and histograms
+	// are order-independent atomics, so fleet-wide aggregation cannot
+	// perturb results.
+	bopt.Obs = c.cfg.Obs
+	bopt.Planner.Obs = nil // derive from the shared registry's turboca scope
+	bopt.DirtySkip = !c.cfg.DisableDirtySkip
+	bopt.Retention = c.cfg.Retention
+	// Per-network report history is the standalone Report API's data; the
+	// fleet control plane reports off the shared fleet store instead, so
+	// keeping per-AP history rows resident in every network would only
+	// burn memory (see backend.Options.DisableTelemetryHistory — planning
+	// and rng streams are unaffected).
+	bopt.DisableTelemetryHistory = true
 	if bopt.Faults != nil {
 		prof := *bopt.Faults
 		prof.Seed = seed ^ 0xfa17
 		bopt.Faults = &prof
 	}
 	ns := &netState{
-		id:     n.ID,
-		key:    netKey(n.ID),
-		sc:     sc,
-		engine: engine,
-		be:     backend.New(bopt, sc, engine),
+		id:      n.ID,
+		key:     netKey(n.ID),
+		apCount: len(n.APs),
+	}
+	ns.build = func() {
+		ns.sc = buildScenario(n, seed)
+		ns.engine = sim.NewEngineCompact(seed ^ 0x0e1f)
+		ns.be = backend.New(bopt, ns.sc, ns.engine)
+		ns.be.StartManaged()
 	}
 	ns.cadence[levelFast] = resolveCadence(opt.Fast, c.cfg.Fast)
 	ns.cadence[levelMid] = resolveCadence(opt.Mid, c.cfg.Mid)
 	ns.cadence[levelDeep] = resolveCadence(opt.Deep, c.cfg.Deep)
-	ns.be.StartManaged()
 	return ns
 }
 
@@ -311,6 +367,11 @@ type passResult struct {
 	apRows   []littletable.Row
 	passRow  littletable.Row
 	logNetP5 float64
+	// skipped counts band-invocations within this pass the planning
+	// service elided as provable no-ops (dirty-skip). Observability only:
+	// a skipped invocation leaves every planner-visible byte identical to
+	// having run it.
+	skipped int
 }
 
 // Run advances the fleet clock by d, executing every scheduled pass that
@@ -420,6 +481,7 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 		}
 		j.ns.passes[j.level]++
 		c.met.passesRun[j.level].Inc()
+		c.met.skippedI0.Add(int64(res.skipped))
 		passTab.InsertBatch(j.ns.key, []littletable.Row{res.passRow})
 		apTab.InsertBatch(j.ns.key, res.apRows)
 		c.met.ingestRows.Add(int64(1 + len(res.apRows)))
@@ -440,8 +502,11 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 // then snapshots the network's telemetry for ingest.
 func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
 	ns := j.ns
+	ns.ensureBuilt()
 	ns.engine.RunUntil(t)
+	skipBefore := ns.be.Service.SkippedTotal
 	ns.be.Service.RunOnce(levelHops[j.level])
+	skipped := ns.be.Service.SkippedTotal - skipBefore
 
 	logNetP5 := ns.be.Service.LastLogNetP[spectrum.Band5]
 	converged := 0.0
@@ -450,6 +515,7 @@ func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
 	}
 	res := &passResult{
 		logNetP5: logNetP5,
+		skipped:  skipped,
 		passRow: littletable.Row{At: t, Fields: map[string]float64{
 			"lognetp5":  logNetP5,
 			"lognetp24": ns.be.Service.LastLogNetP[spectrum.Band2G4],
@@ -485,6 +551,7 @@ func (c *Controller) syncEngines(t sim.Time) {
 			sem <- struct{}{}
 			go func(ns *netState) {
 				defer func() { <-sem; wg.Done() }()
+				ns.ensureBuilt()
 				ns.engine.RunUntil(t)
 			}(ns)
 		}

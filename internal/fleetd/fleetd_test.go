@@ -159,19 +159,27 @@ func TestRemovedNetworkNeverFires(t *testing.T) {
 }
 
 // The determinism contract: same seed and network set produce a
-// byte-identical snapshot for every shard and worker count.
+// byte-identical snapshot for every shard and worker count — and for
+// either dirty-skip setting, since a skipped fast pass is a provable
+// replay of the pass it elides.
 func TestSnapshotInvariantAcrossShardsAndWorkers(t *testing.T) {
 	f := fleet.Generate(fleet.Options{Seed: 42, Networks: 6})
-	shapes := []struct{ shards, workers int }{
-		{1, 1}, {7, 8}, {3, 2},
+	shapes := []struct {
+		shards, workers int
+		noskip          bool
+	}{
+		{1, 1, false}, {7, 8, true}, {3, 2, false}, {1, 2, true},
 	}
 	var base Snapshot
 	var baseText string
 	for i, shape := range shapes {
+		reg := obs.NewRegistry()
 		c := New(Config{
 			Seed:   99,
 			Shards: shape.shards, Workers: shape.workers,
 			Fast: 15 * sim.Minute, Mid: 45 * sim.Minute, Deep: -1,
+			DisableDirtySkip: shape.noskip,
+			Obs:              reg,
 		})
 		c.AddFleet(f)
 		if c.Len() != 6 {
@@ -179,6 +187,9 @@ func TestSnapshotInvariantAcrossShardsAndWorkers(t *testing.T) {
 		}
 		c.Run(45 * sim.Minute)
 		snap := c.Snapshot()
+		if shape.noskip && c.SkippedFastPasses() != 0 {
+			t.Fatalf("DisableDirtySkip controller skipped %d passes", c.SkippedFastPasses())
+		}
 		if i == 0 {
 			base, baseText = snap, snap.String()
 			if snap.Passes[levelFast] == 0 || snap.Passes[levelMid] == 0 {
@@ -190,11 +201,12 @@ func TestSnapshotInvariantAcrossShardsAndWorkers(t *testing.T) {
 			continue
 		}
 		if !reflect.DeepEqual(snap, base) {
-			t.Fatalf("snapshot with shards=%d workers=%d diverged:\n%s\nvs base\n%s",
-				shape.shards, shape.workers, snap.String(), baseText)
+			t.Fatalf("snapshot with shards=%d workers=%d noskip=%v diverged:\n%s\nvs base\n%s",
+				shape.shards, shape.workers, shape.noskip, snap.String(), baseText)
 		}
 		if snap.String() != baseText {
-			t.Fatalf("snapshot text diverged for shards=%d workers=%d", shape.shards, shape.workers)
+			t.Fatalf("snapshot text diverged for shards=%d workers=%d noskip=%v",
+				shape.shards, shape.workers, shape.noskip)
 		}
 	}
 }
@@ -214,6 +226,86 @@ func TestBuildScenarioDeterministic(t *testing.T) {
 	}
 	if c := buildScenario(n, 999); reflect.DeepEqual(a.APs[0], c.APs[0]) {
 		t.Fatal("different seeds produced identical APs")
+	}
+}
+
+// Two networks on coprime cadences produce due instants that fall
+// strictly inside one Run window (7,11,14,21,22 minutes); Run's popDue
+// loop must fire every one of them, not just the first. Regression guard
+// for the scheduler-drain audit: a Run that resolved only one deadline
+// instant per call would undercount both networks here.
+func TestRunFiresDistinctInstantsInOneCall(t *testing.T) {
+	c := New(Config{Seed: 13, Mid: -1, Deep: -1})
+	c.Add(testNetwork(0, 2), NetOptions{Fast: 7 * sim.Minute})
+	c.Add(testNetwork(1, 2), NetOptions{Fast: 11 * sim.Minute})
+	c.Run(22 * sim.Minute)
+	snap := c.Snapshot()
+	if got := snap.Networks[0].Passes[levelFast]; got != 3 {
+		t.Fatalf("net 0 ran %d fast passes in one Run(22m), want 3 (t=7,14,21m)", got)
+	}
+	if got := snap.Networks[1].Passes[levelFast]; got != 2 {
+		t.Fatalf("net 1 ran %d fast passes in one Run(22m), want 2 (t=11,22m)", got)
+	}
+}
+
+// Dirty-skip must actually pay off on a steady-state fleet: once plans
+// converge and telemetry digests stop changing (the flat overnight load
+// window), well over half of the fast band-invocations are elided — the
+// tentpole's scaling claim. The passes themselves still run and ingest at
+// the fleetd level; only the planner invocation inside is skipped.
+func TestDirtySkipRateSteadyState(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Seed: 21, Fast: 15 * sim.Minute, Mid: -1, Deep: -1, Obs: reg})
+	c.AddFleet(fleet.Generate(fleet.Options{Seed: 77, Networks: 8}))
+	// 5 h stays inside OfficeLoad's flat pre-7am window for every AP even
+	// after per-AP phase jitter (≤ 78 min), so demand — and with it every
+	// telemetry digest on a converged network — holds still.
+	c.Run(5 * sim.Hour)
+	snap := c.Snapshot()
+	fast := snap.Passes[levelFast]
+	if fast == 0 {
+		t.Fatal("no fast passes ran")
+	}
+	invocations := 2 * fast // each pass plans both bands
+	skipped := int(c.SkippedFastPasses())
+	if skipped*2 <= invocations {
+		t.Fatalf("skip rate %d/%d ≤ 50%% on a steady-state fleet", skipped, invocations)
+	}
+}
+
+// AddFleet must not materialize control planes: registration records only
+// the shell (ID, cadences, AP count, build closure), snapshots of the
+// unbuilt fleet still report correct AP totals, and the first Run builds
+// what it touches.
+func TestLazyBuildDefersConstruction(t *testing.T) {
+	f := fleet.Generate(fleet.Options{Seed: 5, Networks: 4})
+	c := New(Config{Seed: 9, Fast: 15 * sim.Minute, Mid: -1, Deep: -1})
+	c.AddFleet(f)
+	for _, ns := range c.nets() {
+		if ns.be != nil || ns.sc != nil || ns.engine != nil {
+			t.Fatal("AddFleet built a network's control plane eagerly")
+		}
+		if ns.apCount == 0 {
+			t.Fatal("registration lost the AP count")
+		}
+	}
+	before := c.Snapshot()
+	if before.TotalAPs == 0 {
+		t.Fatal("snapshot of an unbuilt fleet lost AP totals")
+	}
+	for _, st := range before.Networks {
+		if !st.Converged {
+			t.Fatalf("unbuilt network %d reads as unconverged", st.ID)
+		}
+	}
+	c.Run(15 * sim.Minute)
+	for _, ns := range c.nets() {
+		if ns.be == nil || ns.build != nil {
+			t.Fatalf("net %d still unbuilt after Run", ns.id)
+		}
+	}
+	if after := c.Snapshot(); after.TotalAPs != before.TotalAPs {
+		t.Fatalf("AP totals changed across build: %d then %d", before.TotalAPs, after.TotalAPs)
 	}
 }
 

@@ -6,6 +6,10 @@ import "repro/internal/obs"
 //
 //	fleetd.networks          registered (non-removed) networks
 //	fleetd.passes_i{0,1,2}   planning passes executed, by cadence level
+//	fleetd.skipped_i0        fast band-invocations the planning service
+//	                         elided as provable no-ops (dirty-skip);
+//	                         observability only — a skipped invocation
+//	                         changes no planner-visible state
 //	fleetd.shed_i{0,1,2}     passes shed under overload, by level
 //	fleetd.coalesced         shallower passes subsumed by a deeper pass
 //	                         due at the same tick (the §4.4.4 schedule
@@ -24,6 +28,7 @@ import "repro/internal/obs"
 type metrics struct {
 	networks       *obs.Gauge
 	passesRun      [numLevels]*obs.Counter
+	skippedI0      *obs.Counter
 	passesShed     [numLevels]*obs.Counter
 	coalesced      *obs.Counter
 	removedDropped *obs.Counter
@@ -39,6 +44,7 @@ func metricsOn(reg *obs.Registry) *metrics {
 	s := reg.Scope("fleetd")
 	m := &metrics{
 		networks:       s.Gauge("networks"),
+		skippedI0:      s.Counter("skipped_i0"),
 		coalesced:      s.Counter("coalesced"),
 		removedDropped: s.Counter("removed_dropped"),
 		ingestRows:     s.Counter("ingest_rows"),

@@ -69,6 +69,13 @@ func buildScenario(n *fleet.Network, seed int64) *topo.Scenario {
 				UsageWeight: 0.2 + rng.ExpFloat64(),
 			})
 		}
+		// The backend only ever reads the client *mixture*; fold the slice
+		// into its aggregate and drop it, so per-network resident memory
+		// does not scale with client count. Aggregating after all draws
+		// keeps the rng stream (and thus every derived value) identical to
+		// the slice-carrying construction.
+		ap.ClientAgg = topo.AggregateClients(ap.Clients)
+		ap.Clients = nil
 		sc.APs = append(sc.APs, ap)
 	}
 	for i, fap := range n.Foreign {

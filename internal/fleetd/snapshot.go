@@ -10,9 +10,9 @@ import (
 
 // NetworkStatus is one network's row in a fleet snapshot.
 type NetworkStatus struct {
-	ID   int
-	Key  string
-	APs  int
+	ID  int
+	Key string
+	APs int
 	// LogNetP5 / LogNetP24 are the planner's last objective values per
 	// band (0 until the first pass runs).
 	LogNetP5, LogNetP24 float64
@@ -59,15 +59,22 @@ func (c *Controller) Snapshot() Snapshot {
 		st := NetworkStatus{
 			ID:        ns.id,
 			Key:       ns.key,
-			APs:       len(ns.sc.APs),
-			LogNetP5:  ns.be.Service.LastLogNetP[spectrum.Band5],
-			LogNetP24: ns.be.Service.LastLogNetP[spectrum.Band2G4],
-			Converged: ns.be.Converged(),
-			Switches:  ns.be.Switches(),
+			APs:       ns.apCount,
 			Passes:    ns.passes,
 			Shed:      ns.shed,
 			Coalesced: ns.coalesced,
-			Degraded:  ns.be.Service.DegradedTotal,
+			// A network the scheduler has not touched yet (lazy build
+			// pending) has run nothing and diverged from nothing; it reads
+			// as a converged zero row, exactly like a built network before
+			// its first pass.
+			Converged: true,
+		}
+		if ns.be != nil {
+			st.LogNetP5 = ns.be.Service.LastLogNetP[spectrum.Band5]
+			st.LogNetP24 = ns.be.Service.LastLogNetP[spectrum.Band2G4]
+			st.Converged = ns.be.Converged()
+			st.Switches = ns.be.Switches()
+			st.Degraded = ns.be.Service.DegradedTotal
 		}
 		snap.Networks = append(snap.Networks, st)
 		snap.TotalAPs += st.APs

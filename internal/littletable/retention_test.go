@@ -105,6 +105,65 @@ func TestRetentionAppliesToLaterTables(t *testing.T) {
 	}
 }
 
+// TestRetentionQuietTableTrimsOnRead is the regression for the staleness
+// bug: pruning used to run only every pruneBatch inserts, so a table that
+// went quiet below the threshold retained rows past the window forever.
+// The read path now trims pending rows first, so every query of a quiet
+// table converges to the window.
+func TestRetentionQuietTableTrimsOnRead(t *testing.T) {
+	db := NewDB()
+	db.SetRetention(10 * sim.Minute)
+	tbl := db.Table("quiet")
+	// Far fewer inserts than pruneBatch: the insert-path amortization
+	// alone would never trim these, no matter how long we wait.
+	for i := 0; i < 20; i++ {
+		tbl.InsertValue("k", sim.Time(i)*sim.Minute, "v", float64(i))
+	}
+	cutoff := 19*sim.Minute - 10*sim.Minute
+
+	rows := tbl.Range("k", 0, 100*sim.Minute)
+	if len(rows) == 0 {
+		t.Fatal("all rows pruned")
+	}
+	if rows[0].At < cutoff {
+		t.Fatalf("quiet table served row at %v, cutoff %v", rows[0].At, cutoff)
+	}
+	if want := 11; len(rows) != want {
+		t.Fatalf("%d rows served, want %d (the full window)", len(rows), want)
+	}
+	// The trim actually removed the stale rows from storage, not just
+	// from this response.
+	if n := tbl.Len("k"); n != 11 {
+		t.Fatalf("Len = %d after read-path trim, want 11", n)
+	}
+}
+
+// TestRetentionQuietTableAllReadPaths drives each read entry point on its
+// own quiet table and checks none of them serves out-of-window rows.
+func TestRetentionQuietTableAllReadPaths(t *testing.T) {
+	build := func() *Table {
+		db := NewDB()
+		db.SetRetention(5 * sim.Minute)
+		tbl := db.Table("x")
+		for i := 0; i < 12; i++ {
+			tbl.InsertValue("k", sim.Time(i)*sim.Minute, "v", float64(i))
+		}
+		return tbl // newest row at 11m; window covers [6m, 11m]
+	}
+	if pts := build().FieldRange("k", "v", 0, sim.Hour); len(pts) != 6 || pts[0].At != 6*sim.Minute {
+		t.Errorf("FieldRange served %d points starting at %v, want 6 from 6m", len(pts), pts[0].At)
+	}
+	if row, ok := build().Latest("k"); !ok || row.At != 11*sim.Minute {
+		t.Errorf("Latest = (%v, %v), want row at 11m", row.At, ok)
+	}
+	if s := build().AggregateField("v", 0, sim.Hour); s.N() != 6 {
+		t.Errorf("AggregateField saw %d values, want 6", s.N())
+	}
+	if sum := build().SumField("v", 0, sim.Hour); sum != 6+7+8+9+10+11 {
+		t.Errorf("SumField = %f, want %d", sum, 6+7+8+9+10+11)
+	}
+}
+
 // TestRetentionOutOfOrderInserts checks that a late-arriving old row
 // (a delayed poll delivery) does not drag the cutoff backwards and is
 // itself pruned once it falls out of the window.

@@ -112,6 +112,14 @@ func NewEngine(seed int64) *Engine {
 	return &Engine{rng: rand.New(rand.NewSource(seed))}
 }
 
+// NewEngineCompact is NewEngine over the one-word SplitMix64 source (see
+// NewRNG): same engine, ~4.9 KB less resident state, a different (equally
+// deterministic) draw stream. Fleet-scale processes holding one engine
+// per network use this.
+func NewEngineCompact(seed int64) *Engine {
+	return &Engine{rng: NewRNG(seed)}
+}
+
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

@@ -1,0 +1,53 @@
+package turboca
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/spectrum"
+)
+
+// BenchmarkPlannerPass times a full i=0 invocation over the ~600-AP chain
+// (the paper's UNet scale) with the default worker count, and — when
+// BENCH_JSON_DIR is set (`make bench-json`) — persists the numbers as
+// BENCH_planner.json. BenchmarkRunNBO remains the worker-count sweep;
+// this is the single-configuration artifact emitter.
+func BenchmarkPlannerPass(b *testing.B) {
+	const aps = 600
+	in := chainInput(aps, spectrum.W80, 1.0)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	var start runtime.MemStats
+	runtime.ReadMemStats(&start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunNBO(cfg, in, rand.New(rand.NewSource(42)), []int{0})
+	}
+	b.StopTimer()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+
+	dir := os.Getenv("BENCH_JSON_DIR")
+	if dir == "" {
+		return
+	}
+	nsPerPass := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	payload := map[string]float64{
+		"aps":             aps,
+		"ns_per_pass":     nsPerPass,
+		"passes_per_sec":  1e9 / nsPerPass,
+		"allocs_per_pass": float64(end.Mallocs-start.Mallocs) / float64(b.N),
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Logf("bench json: %v", err)
+		return
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_planner.json"), append(data, '\n'), 0o644); err != nil {
+		b.Logf("bench json: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package turboca
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/spectrum"
+)
+
+// Telemetry content digests. Digest hashes everything the planner reads
+// from an Input, in a fixed field order with map contents canonicalized,
+// so two inputs with equal digests are (up to 64-bit collision) the same
+// planning problem. The fleet layer uses this two ways: to derive
+// per-invocation RNG seeds — making every plan a pure function of what is
+// being planned — and to elide fast passes whose input provably matches a
+// run that already changed nothing (service.go's DirtySkip).
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type digester struct{ h uint64 }
+
+func (d *digester) u64(v uint64) {
+	for s := 0; s < 64; s += 8 {
+		d.h ^= (v >> s) & 0xff
+		d.h *= fnvPrime64
+	}
+}
+
+func (d *digester) i64(v int64)   { d.u64(uint64(v)) }
+func (d *digester) f64(v float64) { d.u64(math.Float64bits(v)) }
+
+func (d *digester) bool(v bool) {
+	if v {
+		d.u64(1)
+	} else {
+		d.u64(0)
+	}
+}
+
+// Digest returns an FNV-1a content hash of the planning input. Call it on
+// sanitized inputs: Sanitize canonicalizes the repairs (clamps, defaults)
+// that would otherwise make equal problems hash differently. Maps are
+// folded deterministically — WidthLoad in spectrum.Widths order,
+// ExternalUtil in sorted channel order.
+func (in Input) Digest() uint64 {
+	d := &digester{h: fnvOffset64}
+	d.i64(int64(in.Band))
+	d.bool(in.AllowDFS)
+	d.i64(int64(in.MaxWidth))
+	d.i64(int64(len(in.APs)))
+	var extKeys []int
+	for i := range in.APs {
+		v := &in.APs[i]
+		d.i64(int64(v.ID))
+		d.i64(int64(v.Current.Band))
+		d.i64(int64(v.Current.Number))
+		d.i64(int64(v.Current.Width))
+		d.bool(v.Current.DFS)
+		d.i64(int64(v.MaxWidth))
+		d.bool(v.HasClients)
+		d.f64(v.CSAFraction)
+		d.f64(v.Load)
+		d.f64(v.Utilization)
+		d.bool(v.Stale)
+		d.bool(v.Pinned)
+		for _, w := range spectrum.Widths {
+			d.f64(v.WidthLoad[w])
+		}
+		d.i64(int64(len(v.Neighbors)))
+		for _, id := range v.Neighbors {
+			d.i64(int64(id))
+		}
+		extKeys = extKeys[:0]
+		for ch := range v.ExternalUtil {
+			extKeys = append(extKeys, ch)
+		}
+		sort.Ints(extKeys)
+		d.i64(int64(len(extKeys)))
+		for _, ch := range extKeys {
+			d.i64(int64(ch))
+			d.f64(v.ExternalUtil[ch])
+		}
+	}
+	return d.h
+}
+
+// invocationSeed derives the RNG seed for one band invocation from the
+// service seed, the band, the hop schedule, and the input digest — a pure
+// function of what is planned, never of how many invocations came before.
+// That purity is what makes DirtySkip provable: re-running an invocation
+// with the same input is bit-for-bit the same computation, and skipping
+// it cannot perturb any other invocation's stream.
+func invocationSeed(seed int64, band spectrum.Band, hops []int, digest uint64) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		z ^= v
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	mix(uint64(band) + 1)
+	mix(uint64(len(hops)))
+	for _, h := range hops {
+		mix(uint64(h) + 0x100)
+	}
+	mix(digest)
+	return int64(z)
+}

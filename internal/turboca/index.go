@@ -1,6 +1,10 @@
 package turboca
 
-import "repro/internal/spectrum"
+import (
+	"sync"
+
+	"repro/internal/spectrum"
+)
 
 // chanIdx is a compact channel identity within one planning problem:
 // candidates and current assignments are interned into a small table so
@@ -94,3 +98,48 @@ func (t *chanTable) finalize() {
 
 // channel returns the interned channel.
 func (t *chanTable) channel(i chanIdx) spectrum.Channel { return t.chans[i] }
+
+// clone returns a private copy safe to intern into: the per-channel row
+// slices are copied shallowly (rows are never mutated in place — finalize
+// reallocates the whole overlap matrix, and sub20s/subAt rows are written
+// once at intern time), so growing the clone cannot touch the original.
+func (t *chanTable) clone() *chanTable {
+	cp := &chanTable{
+		chans:   append([]spectrum.Channel(nil), t.chans...),
+		byKey:   make(map[chanKey]chanIdx, len(t.byKey)),
+		overlap: append([][]bool(nil), t.overlap...),
+		subAt:   append([][4]chanIdx(nil), t.subAt...),
+		sub20s:  append([][]int(nil), t.sub20s...),
+	}
+	for k, v := range t.byKey {
+		cp.byKey[k] = v
+	}
+	return cp
+}
+
+// sharedTables caches one finalized superset table per band — every
+// regulatory channel at every width, DFS included — shared read-only by
+// all planners for that band. A fleet of 100k networks pays the table
+// construction (and its O(C²) overlap matrix) once per band instead of
+// once per planning pass per network, and the per-network resident state
+// shrinks by the table itself. Planners that meet a channel outside the
+// superset (malformed telemetry) copy-on-write via planner.internChannel.
+var (
+	sharedTablesMu sync.Mutex
+	sharedTables   = map[spectrum.Band]*chanTable{}
+)
+
+func sharedTable(band spectrum.Band) *chanTable {
+	sharedTablesMu.Lock()
+	defer sharedTablesMu.Unlock()
+	if t, ok := sharedTables[band]; ok {
+		return t
+	}
+	t := newChanTable()
+	for _, c := range spectrum.AllChannels(band, spectrum.W160, true) {
+		t.intern(c)
+	}
+	t.finalize()
+	sharedTables[band] = t
+	return t
+}

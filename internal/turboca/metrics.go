@@ -108,6 +108,11 @@ type Config struct {
 	// for any worker count: every round draws from its own RNG stream
 	// derived from (seed, hop level, round index).
 	Workers int
+	// FullRescore disables the incremental per-AP contribution cache and
+	// scores every NBO round with a full logNetP re-sum. Plans and scores
+	// are byte-identical either way (see rescore.go); this is the debug
+	// oracle the property tests compare the incremental path against.
+	FullRescore bool
 	// Obs, when non-nil, redirects the planner's metrics (pass/hop-level
 	// timings, NetP trajectory, accept/reject counters — see obs.go) to a
 	// private scope instead of the process-wide default registry. Tests
@@ -154,10 +159,15 @@ type planner struct {
 	cfg Config
 	in  Input
 
-	tbl   *chanTable
-	views []*APView
-	idxOf map[int]int // AP ID -> dense index
-	neigh [][]int     // dense neighbor indices
+	// tbl starts as the band's shared superset table (see sharedTable);
+	// ownTbl flips when an out-of-superset channel forces a private
+	// copy-on-write clone. Clones made while ownTbl is false must never
+	// intern.
+	tbl    *chanTable
+	ownTbl bool
+	views  []*APView
+	idxOf  map[int]int // AP ID -> dense index
+	neigh  [][]int     // dense neighbor indices
 	// onAir is the AP's real current channel (noChan when the AP has no
 	// assignment yet): the switch-penalty anchor and the baseline for
 	// switch counting. Never mutated.
@@ -187,6 +197,16 @@ type planner struct {
 	seenGen  []int
 	gen      int
 	remBuf   []int
+
+	// Incremental rescoring state (rescore.go): the per-AP ln NodeP
+	// contribution from the previous score call, the channel it was
+	// computed on (unscored before the first call), and a gen-stamp
+	// marking APs whose channel changed this call. Lazily allocated;
+	// cloneScratch resets them so every clone owns its own cache.
+	contrib    []float64
+	scoredChan []chanIdx
+	chgGen     []int
+	met        *plannerMetrics
 }
 
 func newPlanner(cfg Config, in Input) *planner {
@@ -200,7 +220,7 @@ func newPlanner(cfg Config, in Input) *planner {
 	n := len(in.APs)
 	p := &planner{
 		cfg: cfg, in: in,
-		tbl:       newChanTable(),
+		tbl:       sharedTable(in.Band),
 		views:     make([]*APView, n),
 		idxOf:     make(map[int]int, n),
 		neigh:     make([][]int, n),
@@ -220,8 +240,11 @@ func newPlanner(cfg Config, in Input) *planner {
 		p.views[i] = v
 		p.idxOf[v.ID] = i
 	}
+	// Candidates resolve against the shared table in AllChannels order —
+	// the same iteration order a private table would produce, so plans are
+	// byte-identical to the per-planner-table implementation.
 	for _, c := range spectrum.AllChannels(in.Band, maxW, in.AllowDFS) {
-		idx := p.tbl.intern(c)
+		idx := p.internChannel(c)
 		p.cands = append(p.cands, idx)
 		if !c.DFS {
 			p.candNoDFS = append(p.candNoDFS, idx)
@@ -232,7 +255,7 @@ func newPlanner(cfg Config, in Input) *planner {
 		// otherwise malformed) Current; interning it would inject a bogus
 		// channel into the table and every overlap row. Map it to noChan.
 		if v.Current.Width.Valid() {
-			p.onAir[i] = p.tbl.intern(v.Current)
+			p.onAir[i] = p.internChannel(v.Current)
 		} else {
 			p.onAir[i] = noChan
 		}
@@ -262,7 +285,11 @@ func newPlanner(cfg Config, in Input) *planner {
 		p.weight[i] = 0.2 + v.Load
 		p.penBase[i] = p.penaltyBase(v)
 	}
-	p.tbl.finalize()
+	// The shared table arrives finalized; only a copy-on-write clone that
+	// grew past it needs its overlap matrix rebuilt.
+	if len(p.tbl.overlap) != len(p.tbl.chans) {
+		p.tbl.finalize()
+	}
 	p.extOf = make([][]float64, n)
 	for i, v := range p.views {
 		p.extOf[i] = make([]float64, len(p.tbl.chans))
@@ -277,6 +304,25 @@ func newPlanner(cfg Config, in Input) *planner {
 		}
 	}
 	return p
+}
+
+// internChannel resolves c against the planner's table. A hit on the
+// shared superset table (the overwhelmingly common case — every
+// regulatory channel is pre-interned) is a map lookup; a miss clones the
+// table into private ownership first, so the shared table is never
+// mutated.
+func (p *planner) internChannel(c spectrum.Channel) chanIdx {
+	if c.Width == 0 {
+		return noChan
+	}
+	if idx, ok := p.tbl.byKey[keyOf(c)]; ok {
+		return idx
+	}
+	if !p.ownTbl {
+		p.tbl = p.tbl.clone()
+		p.ownTbl = true
+	}
+	return p.tbl.intern(c)
 }
 
 // penaltyBase computes the per-AP part of penalty_c (§4.4.1, §4.5.1).
@@ -313,6 +359,9 @@ func (p *planner) cloneScratch() *planner {
 	cp.seenGen = make([]int, n)
 	cp.gen = 0
 	cp.remBuf = make([]int, 0, n)
+	cp.contrib = nil
+	cp.scoredChan = nil
+	cp.chgGen = nil
 	for i := range cp.assign {
 		cp.assign[i] = noChan
 	}
@@ -425,7 +474,7 @@ func (p *planner) loadAssign(plan Plan) {
 	}
 	for id, a := range plan {
 		if i, ok := p.idxOf[id]; ok {
-			p.assign[i] = p.tbl.intern(a.Channel)
+			p.assign[i] = p.internChannel(a.Channel)
 		}
 	}
 	// Interning may have grown the table; refresh derived state.

@@ -36,7 +36,44 @@ func (p *planner) acc(i int) chanIdx {
 		}
 	}
 	if best == noChan {
-		best = p.current[i] // nothing admissible; stay put
+		// No candidate cleared the width cap. Staying put is only safe when
+		// the current channel is itself admissible: no wider than the AP's
+		// cap, and not a DFS channel while clients are associated (§4.5.2).
+		// Otherwise fall back to the best narrowest non-DFS channel —
+		// keeping a channel that violates the constraint this filter exists
+		// to honor is worse than an out-of-cap move to a safe one.
+		if cur := p.current[i]; cur != noChan {
+			ch := p.tbl.chans[cur]
+			if ch.Width <= maxW && !(ch.DFS && p.views[i].HasClients) {
+				return cur
+			}
+		}
+		best = p.narrowestFallback(i)
+	}
+	return best
+}
+
+// narrowestFallback picks the best-scoring channel among the narrowest
+// non-DFS candidates, ignoring the AP's width cap. It is the last resort
+// when no candidate is admissible under the cap (a malformed cap narrower
+// than every channel) and the current channel violates a hard constraint.
+func (p *planner) narrowestFallback(i int) chanIdx {
+	var minW spectrum.Width
+	for _, c := range p.candNoDFS {
+		if w := p.tbl.chans[c].Width; minW == 0 || w < minW {
+			minW = w
+		}
+	}
+	bestScore := math.Inf(-1)
+	best := noChan
+	for _, c := range p.candNoDFS {
+		if p.tbl.chans[c].Width != minW {
+			continue
+		}
+		if s := p.deltaScore(i, c); s > bestScore {
+			bestScore = s
+			best = c
+		}
 	}
 	return best
 }
@@ -265,6 +302,7 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 	m.passes.Inc()
 
 	p := newPlanner(cfg, in)
+	p.met = m
 	runs := cfg.Runs
 	if runs <= 0 {
 		runs = 2 + len(in.APs)/100 // "proportional to the network size"
@@ -285,7 +323,7 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 	for i := range p.assign {
 		p.assign[i] = noChan
 	}
-	bestScore := p.logNetP()
+	bestScore := p.score()
 	var bestAssign []chanIdx
 	improved := false
 	rounds := 0
@@ -306,7 +344,7 @@ func runNBO(cfg Config, in Input, rng *rand.Rand, hops []int, onLevel func(hop i
 				for r := w; r < runs; r += workers {
 					rr := rand.New(rand.NewSource(roundSeed(base, li, r)))
 					wp.nbo(rr, h)
-					out[r] = roundOut{wp.logNetP(), append([]chanIdx(nil), wp.assign...)}
+					out[r] = roundOut{wp.score(), append([]chanIdx(nil), wp.assign...)}
 				}
 			}(w)
 		}

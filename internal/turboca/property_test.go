@@ -198,21 +198,29 @@ func obsEqual(a, b deterministicObs) bool {
 //  4. a full-coverage plan re-evaluates (via NetP) to exactly the
 //     LogNetP the planner reported,
 //  5. results — plan, score, counters — are byte-identical across
-//     worker counts, and
+//     worker counts AND across the incremental/full-rescore scoring
+//     paths (Config.FullRescore is the debug oracle the incremental
+//     contribution cache must match bit for bit), and
 //  6. the deterministic slice of the obs snapshot (counters, NetP
-//     histogram quantiles) is identical across worker counts.
+//     histogram quantiles) is identical across all those shapes.
 func TestPlanInvariants(t *testing.T) {
+	shapes := []struct {
+		workers int
+		full    bool
+	}{{1, false}, {3, false}, {8, false}, {1, true}, {8, true}}
 	for seed := int64(0); seed < propertySeeds; seed++ {
 		in := randomInput(rand.New(rand.NewSource(seed)))
 		base := turboca.NetP(turboca.DefaultConfig(), in, incumbentPlan(in))
 
 		var ref turboca.Result
 		var refObs deterministicObs
-		for wi, workers := range []int{1, 3, 8} {
+		for wi, shape := range shapes {
+			workers := shape.workers
 			reg := obs.NewRegistry()
 			cfg := turboca.DefaultConfig()
 			cfg.Runs = 4
 			cfg.Workers = workers
+			cfg.FullRescore = shape.full
 			cfg.Obs = reg.Scope("turboca")
 			res := turboca.RunNBO(cfg, in, rand.New(rand.NewSource(seed*7919+1)), []int{1, 0})
 			snap := obsSlice(reg)
@@ -255,16 +263,16 @@ func TestPlanInvariants(t *testing.T) {
 
 			if res.LogNetP != ref.LogNetP || res.Rounds != ref.Rounds ||
 				res.Switches != ref.Switches || res.Improved != ref.Improved {
-				t.Errorf("seed %d: workers=%d result (%f, %d, %d, %v) != workers=1 (%f, %d, %d, %v)",
-					seed, workers, res.LogNetP, res.Rounds, res.Switches, res.Improved,
+				t.Errorf("seed %d: workers=%d full=%v result (%f, %d, %d, %v) != reference (%f, %d, %d, %v)",
+					seed, workers, shape.full, res.LogNetP, res.Rounds, res.Switches, res.Improved,
 					ref.LogNetP, ref.Rounds, ref.Switches, ref.Improved)
 			}
 			if !plansIdentical(res.Plan, ref.Plan) {
-				t.Errorf("seed %d: workers=%d plan differs from workers=1", seed, workers)
+				t.Errorf("seed %d: workers=%d full=%v plan differs from reference", seed, workers, shape.full)
 			}
 			if !obsEqual(snap, refObs) {
-				t.Errorf("seed %d: workers=%d deterministic metrics differ from workers=1:\n%+v\nvs\n%+v",
-					seed, workers, snap, refObs)
+				t.Errorf("seed %d: workers=%d full=%v deterministic metrics differ from reference:\n%+v\nvs\n%+v",
+					seed, workers, shape.full, snap, refObs)
 			}
 		}
 	}

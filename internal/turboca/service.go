@@ -41,18 +41,40 @@ type Service struct {
 	// you don't trust. 0 or >= 1 disables the guard.
 	MaxStaleFraction float64
 
-	// seed anchors the per-band RNG streams. Each band draws from its own
-	// stream (derived from seed and the band identity), so a band's plan
-	// sequence depends only on how many times that band has been planned —
-	// not on ticker interleaving or on which other bands are managed.
-	seed    int64
-	bandRng map[spectrum.Band]*rand.Rand
-	stops   []func()
+	// DirtySkip enables provable replay elision for fast-only passes: an
+	// invocation whose hop schedule is exactly [0] and whose sanitized
+	// input digest equals the band's previous executed invocation — which
+	// was itself a fast-only no-op — is skipped outright. Because
+	// per-invocation RNG seeds derive from the input content (see
+	// invocationSeed), re-running would be bit-for-bit the computation
+	// that already changed nothing: counters and LastLogNetP are already
+	// exactly what the re-run would leave behind. Invocations carrying
+	// deep (i>0) passes are never skipped.
+	DirtySkip bool
+
+	// seed anchors the per-invocation RNG seeds. Each invocation's seed
+	// mixes seed with the band, hop schedule, and input digest, so a plan
+	// depends only on what is being planned — not on ticker interleaving,
+	// on which other bands are managed, or on how many invocations came
+	// before.
+	seed  int64
+	stops []func()
+
+	// lastNoop, per band: the input digest of the last executed
+	// invocation, present only when that invocation was fast-only ([0])
+	// and produced no improvement. Any other outcome clears the entry, so
+	// a skip is always justified by the immediately preceding executed
+	// run.
+	lastNoop map[spectrum.Band]uint64
 
 	// Counters for evaluation.
 	RunsTotal     int
 	SwitchesTotal int
 	ImprovedTotal int
+	// SkippedTotal counts band-invocations elided by DirtySkip (each also
+	// counts in RunsTotal: a skip is a run whose outcome was proven
+	// without executing it).
+	SkippedTotal int
 	// DegradedTotal counts band-invocations whose deep passes were
 	// skipped by the staleness guard.
 	DegradedTotal int
@@ -71,21 +93,9 @@ func NewService(cfg Config, env EnvironmentFn, apply ApplyFn, seed int64) *Servi
 		Mid:         3 * sim.Hour,
 		Deep:        24 * sim.Hour,
 		seed:        seed,
-		bandRng:     map[spectrum.Band]*rand.Rand{},
+		lastNoop:    map[spectrum.Band]uint64{},
 		LastLogNetP: map[spectrum.Band]float64{},
 	}
-}
-
-// bandStream returns band's dedicated RNG stream, creating it on first use
-// so Bands may be customized after NewService without perturbing the
-// streams of the bands that remain.
-func (s *Service) bandStream(band spectrum.Band) *rand.Rand {
-	if r, ok := s.bandRng[band]; ok {
-		return r
-	}
-	r := rand.New(rand.NewSource(roundSeed(s.seed, int(band)+1, 0)))
-	s.bandRng[band] = r
-	return r
 }
 
 // Start registers the three cadences on the engine. Mid and Deep ticks
@@ -108,23 +118,24 @@ func (s *Service) Stop() {
 }
 
 // RunOnce executes one scheduled invocation across all managed bands.
-// Inputs are snapshotted and per-invocation seeds drawn serially in Bands
-// order (EnvironmentFn implementations read shared backend state, and the
-// band streams must advance deterministically), the bands are then planned
-// concurrently — each goroutine owning a private rng built from its drawn
-// seed, so no *rand.Rand is ever shared even if Bands lists a band twice —
-// and results are applied serially in Bands order, so counters, Apply
+// Inputs are snapshotted, sanitized, digested, and skip-checked serially
+// in Bands order (EnvironmentFn implementations read shared backend
+// state); the surviving bands are then planned concurrently — each
+// goroutine owning a private rng built from its content-derived seed, so
+// no *rand.Rand is ever shared even if Bands lists a band twice — and
+// results are applied serially in Bands order, so counters, Apply
 // callbacks, and every plan are deterministic. Duplicate Bands entries are
 // planned once per invocation.
 func (s *Service) RunOnce(hops []int) {
 	sp := s.Cfg.obsRegistry().Tracer().Begin("turboca.run_once")
 	defer sp.End()
 	type job struct {
-		band spectrum.Band
-		in   Input
-		hops []int
-		seed int64
-		res  Result
+		band   spectrum.Band
+		in     Input
+		hops   []int
+		seed   int64
+		digest uint64
+		res    Result
 	}
 	var jobs []*job
 	planned := map[spectrum.Band]bool{}
@@ -146,7 +157,21 @@ func (s *Service) RunOnce(hops []int) {
 			jobHops = []int{0}
 			s.DegradedTotal++
 		}
-		jobs = append(jobs, &job{band: band, in: in, hops: jobHops, seed: s.bandStream(band).Int63()})
+		digest := in.Digest()
+		if last, ok := s.lastNoop[band]; ok && s.DirtySkip && fastOnly(jobHops) && last == digest {
+			// Provable replay: the band's previous executed invocation was
+			// this exact fast-only computation (same digest, hence same
+			// input and same seed) and it changed nothing. Running it again
+			// would leave every counter, LastLogNetP, and the network
+			// bit-for-bit where they already are.
+			s.RunsTotal++
+			s.SkippedTotal++
+			continue
+		}
+		jobs = append(jobs, &job{
+			band: band, in: in, hops: jobHops, digest: digest,
+			seed: invocationSeed(s.seed, band, jobHops, digest),
+		})
 	}
 	var wg sync.WaitGroup
 	for _, j := range jobs {
@@ -160,6 +185,15 @@ func (s *Service) RunOnce(hops []int) {
 	for _, j := range jobs {
 		s.RunsTotal++
 		s.LastLogNetP[j.band] = j.res.LogNetP
+		// Skip memo: only an executed fast-only no-op licenses eliding its
+		// replay. Anything else — an improvement (the next input should
+		// reflect the pushed plan; until it does, replans must run), or a
+		// deeper schedule — clears the band's entry.
+		if !j.res.Improved && fastOnly(j.hops) {
+			s.lastNoop[j.band] = j.digest
+		} else {
+			delete(s.lastNoop, j.band)
+		}
 		if j.res.Improved {
 			s.ImprovedTotal++
 			if s.Apply != nil {
@@ -169,6 +203,12 @@ func (s *Service) RunOnce(hops []int) {
 			}
 		}
 	}
+}
+
+// fastOnly reports whether a hop schedule is exactly the safe i=0
+// refinement — the only schedule DirtySkip may elide.
+func fastOnly(hops []int) bool {
+	return len(hops) == 1 && hops[0] == 0
 }
 
 // degraded reports whether an invocation's deep passes must be skipped
