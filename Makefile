@@ -23,9 +23,9 @@ COVER_FLOOR_FASTACK = 90
 # brief live search so verify catches shallow regressions in new code.
 FUZZTIME = 5s
 
-.PHONY: verify vet build test race chaos cover fuzz bench bench-json
+.PHONY: verify vet build test race chaos chaos-kill cover fuzz bench bench-json
 
-verify: vet build test race chaos cover fuzz bench-json
+verify: vet build test race chaos chaos-kill cover fuzz bench-json
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,17 @@ chaos:
 	$(GO) test -race ./internal/faults/...
 	$(GO) test -race -short -run 'TestChaos|TestDataChaos|TestRoaming' ./internal/testbed/...
 	$(GO) test -race -run 'TestGuard|TestSweep|TestRST|TestExportImport|TestInvariant|TestClientAckHeal|TestSpurious|FuzzAgentDatagram' ./internal/fastack/...
+
+# Crash-safety campaign for the fleet control plane: seeded SIGKILLs at
+# durable-write instants over a 600-network fleet (half tearing the
+# journal's final record), restart-replay equivalence at every write
+# boundary, degraded-mode determinism under checkpoint failures, pass
+# supervision (panic quarantine, stuck-pass watchdog, lag demotion), and
+# a real SIGKILL re-exec of the test binary over the on-disk store — all
+# under the race detector. -short keeps the campaign to 8 seeds under
+# -race; plain `go test ./internal/fleetd` runs all 50.
+chaos-kill:
+	$(GO) test -race -short -run 'TestChaosKillCampaign|TestRestartEquivalence|TestCleanRestart|TestDegraded|TestOpenTruncates|TestOpenRejects|TestPanicQuarantine|TestWatchdog|TestLagDegradation|TestRealSIGKILL' ./internal/fleetd
 
 # Coverage floor: fails if any of COVER_PKGS drops below COVER_FLOOR%
 # (the fastack package is held to COVER_FLOOR_FASTACK instead).

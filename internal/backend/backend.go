@@ -19,6 +19,7 @@
 package backend
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -113,6 +114,14 @@ type Options struct {
 	PushRetryBase sim.Time // default 30 s
 	PushRetryMax  sim.Time // default 8 min
 	PushAttempts  int      // default 5
+	// PushRetryTimeCap bounds the total sim time one delivery's retry
+	// chain may span from its first attempt: a retry that would land
+	// beyond the cap is abandoned to the reconciler instead of scheduled.
+	// Without it a long backoff chain can outlive the pass (and the
+	// scheduler tick) that started it. The default (30 min) exceeds the
+	// worst-case chain under the default attempt budget, so it only bites
+	// when configured tighter. Negative disables.
+	PushRetryTimeCap sim.Time
 	// ReconcileInterval is the cadence at which intended-vs-actual plan
 	// divergence is detected and re-pushed (default 15 min).
 	ReconcileInterval sim.Time
@@ -172,6 +181,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PushAttempts <= 0 {
 		o.PushAttempts = 5
+	}
+	if o.PushRetryTimeCap == 0 {
+		o.PushRetryTimeCap = 30 * sim.Minute
 	}
 	if o.ReconcileInterval <= 0 {
 		o.ReconcileInterval = 15 * sim.Minute
@@ -234,6 +246,15 @@ type Backend struct {
 	ctl     *ctlMetrics
 	ctlBase ControlStats
 
+	// ctx is the cancellation context the control loops honor. It
+	// defaults to context.Background (never cancelled); an external
+	// scheduler supervising this backend installs a per-pass context via
+	// SetPassContext so a stuck-pass watchdog can abort poll, push, and
+	// reconcile work mid-flight (see fleetd's supervision layer). A
+	// cancelled backend stops doing work but keeps its intent maps, so
+	// nothing is lost if the context is later replaced and work resumes.
+	ctx context.Context
+
 	// inputTmpl caches the static part of each band's planner input — ID,
 	// width cap, client mix, external interference, neighbor lists — all
 	// pure functions of the scenario's fixed geometry and population.
@@ -277,6 +298,7 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 		ctl:       ctl,
 		ctlBase:   ctl.read(),
 		inputTmpl: map[spectrum.Band][]turboca.APView{},
+		ctx:       context.Background(),
 	}
 	if opt.Retention > 0 {
 		b.DB.SetRetention(opt.Retention)
@@ -317,6 +339,28 @@ func (b *Backend) StartManaged() {
 
 // Switches reports how many AP channel changes the service has applied.
 func (b *Backend) Switches() int { return b.switches }
+
+// SetPassContext installs the cancellation context the control loops
+// check. Pass nil (or context.Background()) to clear supervision. The
+// engine events already queued keep firing; a cancelled context makes
+// their bodies return early, so a wedged pass drains instead of running
+// away.
+func (b *Backend) SetPassContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b.ctx = ctx
+}
+
+// cancelled reports whether the supervising context has been cancelled,
+// counting each observation.
+func (b *Backend) cancelled() bool {
+	if b.ctx.Err() == nil {
+		return false
+	}
+	b.ctl.ctxAborts.Inc()
+	return true
+}
 
 // Control returns a snapshot of the control-plane counters accumulated by
 // this Backend instance (the registry totals minus the construction-time

@@ -37,6 +37,8 @@ type ctlMetrics struct {
 	reconciliations *obs.Counter
 	staleViews      *obs.Counter
 	pinnedViews     *obs.Counter
+	ctxAborts       *obs.Counter
+	retryCapHits    *obs.Counter
 
 	pollPassUS      *obs.Histogram
 	reconcilePassUS *obs.Histogram
@@ -60,6 +62,8 @@ func ctlMetricsOn(reg *obs.Registry) *ctlMetrics {
 		reconciliations: s.Counter("reconciliations"),
 		staleViews:      s.Counter("stale_views"),
 		pinnedViews:     s.Counter("pinned_views"),
+		ctxAborts:       s.Counter("ctx_aborts"),
+		retryCapHits:    s.Counter("retry_cap_hits"),
 		pollPassUS:      s.Histogram("poll_pass_us", "µs"),
 		reconcilePassUS: s.Histogram("reconcile_pass_us", "µs"),
 		pollAgeUS:       s.Histogram("poll_age_us", "simµs"),

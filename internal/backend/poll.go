@@ -63,6 +63,14 @@ func (b *Backend) Poll() {
 	interval := b.Opt.PollInterval
 
 	for _, ap := range b.Scenario.APs {
+		// Supervision abort: a cancelled pass stops polling mid-fleet.
+		// The rng stream diverges from an uncancelled run, but cancel only
+		// fires under a stuck-pass watchdog, after which the supervising
+		// scheduler quarantines this network — its stream is never compared
+		// against a healthy twin again.
+		if b.cancelled() {
+			return
+		}
 		b.ctl.pollsAttempted.Inc()
 		if b.faults.Offline(ap.ID, now) {
 			b.ctl.pollsOffline.Inc()
@@ -163,4 +171,39 @@ func (b *Backend) ingest(s polledSample) {
 // saneMetric accepts finite values in [0, hi].
 func saneMetric(v, hi float64) bool {
 	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 && v <= hi
+}
+
+// ReportsDigest returns an FNV-1a content hash of the last-known-good
+// report table, folded in Scenario.APs order so the value is independent
+// of map iteration. The fleet durability layer records it in checkpoints
+// as the telemetry-state anchor: two backends with equal digests have
+// byte-identical planner-visible telemetry.
+func (b *Backend) ReportsDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, ap := range b.Scenario.APs {
+		rep, ok := b.reports[ap.ID]
+		if !ok {
+			continue
+		}
+		mix(uint64(ap.ID))
+		mix(uint64(rep.At))
+		mix(math.Float64bits(rep.Demand))
+		mix(math.Float64bits(rep.Utilization))
+		if rep.HasClients {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	return h
 }

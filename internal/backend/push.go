@@ -12,10 +12,13 @@ import (
 // Plan delivery. An accepted plan first becomes the intent of record
 // (b.intended); each AP whose on-air channel diverges from intent is then
 // pushed. A failed push retries with bounded exponential backoff and
-// deterministic jitter for up to Opt.PushAttempts attempts; anything that
-// outlives the retry budget — or diverges later, e.g. a radar fallback —
-// is caught by the periodic Reconcile pass. Intent is re-read at every
-// deferred delivery, so a newer plan always supersedes a stale retry.
+// deterministic jitter for up to Opt.PushAttempts attempts — and within a
+// total-time cap (Opt.PushRetryTimeCap) measured from the chain's first
+// attempt, so one delivery's backoff can never outlive the pass that
+// started it. Anything that exhausts either budget — or diverges later,
+// e.g. a radar fallback — is caught by the periodic Reconcile pass.
+// Intent is re-read at every deferred delivery, so a newer plan always
+// supersedes a stale retry.
 
 // pushKey identifies one (band, AP) delivery for retry bookkeeping.
 type pushKey struct {
@@ -47,7 +50,10 @@ func (b *Backend) applyPlan(band spectrum.Band, plan turboca.Plan, res turboca.R
 			b.noteFallback(ap.ID, band, a)
 			continue
 		}
-		if b.pushAP(ap, band, a, 0) {
+		if b.cancelled() {
+			return applied
+		}
+		if b.pushAP(ap, band, a, 0, b.Engine.Now()) {
 			applied++
 		}
 	}
@@ -55,13 +61,15 @@ func (b *Backend) applyPlan(band spectrum.Band, plan turboca.Plan, res turboca.R
 }
 
 // pushAP attempts one configuration push. On failure it arms the backoff
-// retry chain and reports false.
-func (b *Backend) pushAP(ap *topo.AP, band spectrum.Band, a turboca.Assignment, attempt int) bool {
+// retry chain and reports false. chainStart is the sim time of the
+// chain's first attempt (attempt 0); the retry-time cap is measured from
+// it.
+func (b *Backend) pushAP(ap *topo.AP, band spectrum.Band, a turboca.Assignment, attempt int, chainStart sim.Time) bool {
 	now := b.Engine.Now()
 	b.ctl.pushesAttempted.Inc()
 	if b.faults.Offline(ap.ID, now) || b.faults.FailPush(ap.ID, int(band), now, attempt) {
 		b.ctl.pushesFailed.Inc()
-		b.scheduleRetry(ap, band, attempt)
+		b.scheduleRetry(ap, band, attempt, chainStart)
 		return false
 	}
 	b.installChannel(ap, band, a)
@@ -71,9 +79,10 @@ func (b *Backend) pushAP(ap *topo.AP, band spectrum.Band, a turboca.Assignment, 
 // scheduleRetry arms the next delivery attempt: delay doubles from
 // Opt.PushRetryBase, capped at Opt.PushRetryMax, plus up to 50%
 // deterministic jitter so a burst of failures does not retry in
-// lockstep. When the attempt budget is exhausted the chain stops and the
-// reconciler owns the divergence.
-func (b *Backend) scheduleRetry(ap *topo.AP, band spectrum.Band, attempt int) {
+// lockstep. When the attempt budget is exhausted — or the next attempt
+// would land beyond Opt.PushRetryTimeCap from the chain's first attempt —
+// the chain stops and the reconciler owns the divergence.
+func (b *Backend) scheduleRetry(ap *topo.AP, band spectrum.Band, attempt int, chainStart sim.Time) {
 	if attempt+1 >= b.Opt.PushAttempts {
 		return
 	}
@@ -86,18 +95,25 @@ func (b *Backend) scheduleRetry(ap *topo.AP, band spectrum.Band, attempt int) {
 		d = b.Opt.PushRetryMax
 	}
 	d += sim.Time(float64(d) * 0.5 * b.faults.Jitter(ap.ID, int(band), attempt, b.Engine.Now()))
+	if cap := b.Opt.PushRetryTimeCap; cap >= 0 && b.Engine.Now()+d-chainStart > cap {
+		b.ctl.retryCapHits.Inc()
+		return
+	}
 	b.retrying[key] = true
 	b.ctl.pushRetries.Inc()
 	b.ctl.pushDelayUS.Observe(int64(d))
 	b.Engine.After(d, func(e *sim.Engine) {
 		delete(b.retrying, key)
+		if b.cancelled() {
+			return
+		}
 		// Re-read intent: a newer plan, or a radar fallback, may have
 		// superseded the assignment this retry was armed for.
 		a, ok := b.intent(band, ap.ID)
 		if !ok || b.channelOn(ap, band) == a.Channel {
 			return
 		}
-		if b.pushAP(ap, band, a, attempt+1) && b.Service != nil {
+		if b.pushAP(ap, band, a, attempt+1, chainStart) && b.Service != nil {
 			b.Service.SwitchesTotal++
 		}
 	})
@@ -142,12 +158,15 @@ func (b *Backend) Reconcile() {
 			continue
 		}
 		for _, ap := range b.Scenario.APs {
+			if b.cancelled() {
+				return
+			}
 			a, ok := m[ap.ID]
 			if !ok || b.channelOn(ap, band) == a.Channel || b.retrying[pushKey{band, ap.ID}] {
 				continue
 			}
 			b.ctl.reconciliations.Inc()
-			if b.pushAP(ap, band, a, 0) && b.Service != nil {
+			if b.pushAP(ap, band, a, 0, b.Engine.Now()) && b.Service != nil {
 				b.Service.SwitchesTotal++
 			}
 		}

@@ -1,0 +1,141 @@
+package faults
+
+import "repro/internal/sim"
+
+// ProcProfile describes process-level faults for the fleet controller's
+// durability layer: SIGKILL-style process deaths at seeded instants,
+// checkpoint-commit failures, torn tail writes on the intent journal, and
+// per-pass panics/wedges inside the controller's worker pool. The kill
+// chaos campaign (internal/fleetd) drives all of them from one profile so
+// a whole crash-and-recovery history is a pure function of the seed.
+//
+// Like every fault model in this package, decisions are pure hashes of
+// their coordinates, never a shared RNG stream:
+//
+//   - Kill instants are keyed by (process instance, durable-write count):
+//     each process lifetime draws its own kill point, so a recovered
+//     process is not re-killed at the same journal record forever.
+//   - Checkpoint failures are keyed by the fleet clock of the attempt, so
+//     a crashed-and-replayed controller and its uncrashed twin see the
+//     same failure sequence (attempts happen at deterministic sim times).
+//   - Pass panics and wedges are keyed by (network, tick clock, level) —
+//     positional coordinates that replay identically.
+type ProcProfile struct {
+	// Seed anchors every hash-derived decision.
+	Seed int64
+	// Kills is how many process instances die (instance 0 is the first
+	// process lifetime; each recovery starts the next). Instances beyond
+	// Kills run to completion, so a campaign always terminates.
+	Kills int
+	// KillSpan bounds the durable-write index at which a kill fires: the
+	// doomed instance dies immediately after its (1 + hash % KillSpan)-th
+	// durable write (journal append or checkpoint commit). Default 16.
+	KillSpan int
+	// TornTail is the probability a kill leaves the journal's final
+	// record torn: a prefix of its bytes on disk, the rest lost — the
+	// crash landing mid-write. Recovery must drop the torn record.
+	TornTail float64
+	// CheckpointFail is the probability one checkpoint commit fails,
+	// keyed by the fleet clock of the attempt.
+	CheckpointFail float64
+	// PanicPass is the probability one (network, tick, level) planning
+	// pass panics inside the worker pool.
+	PanicPass float64
+	// StuckPass is the probability one pass wedges (spinning until the
+	// stuck-pass watchdog cancels its context).
+	StuckPass float64
+}
+
+// Decision kinds for process faults, disjoint from the control-path kinds
+// in faults.go.
+const (
+	kindKillAt = iota + 100
+	kindTornTail
+	kindTornFrac
+	kindCkptFail
+	kindPanicPass
+	kindStuckPass
+)
+
+// ProcInjector answers the durability layer's fault questions. A nil
+// *ProcInjector is valid and reports "no fault" everywhere.
+type ProcInjector struct {
+	prof ProcProfile
+}
+
+// NewProc builds an injector for a profile; a nil profile yields a nil
+// injector (fault-free).
+func NewProc(p *ProcProfile) *ProcInjector {
+	if p == nil {
+		return nil
+	}
+	inj := &ProcInjector{prof: *p}
+	if inj.prof.KillSpan <= 0 {
+		inj.prof.KillSpan = 16
+	}
+	return inj
+}
+
+// Active reports whether any fault can ever fire.
+func (inj *ProcInjector) Active() bool { return inj != nil }
+
+func (inj *ProcInjector) uniformProc(a, kind, salt int, at sim.Time) float64 {
+	return float64(mix(inj.prof.Seed, a, kind, salt, 0, at)>>11) / (1 << 53)
+}
+
+// KillAfterWrites returns the durable-write count at which the given
+// process instance dies (the process survives its n-th durable write for
+// n < the returned value), or -1 if the instance runs to completion.
+func (inj *ProcInjector) KillAfterWrites(instance int) int {
+	if inj == nil || instance >= inj.prof.Kills {
+		return -1
+	}
+	return 1 + int(mix(inj.prof.Seed, instance, kindKillAt, 0, 0, 0)%uint64(inj.prof.KillSpan))
+}
+
+// TornTailFrac reports whether the given instance's death tears the
+// journal's final record, and if so which fraction of the record's bytes
+// survive on disk (in (0, 1)).
+func (inj *ProcInjector) TornTailFrac(instance int) (float64, bool) {
+	if inj == nil || inj.prof.TornTail <= 0 {
+		return 0, false
+	}
+	if inj.uniformProc(instance, kindTornTail, 0, 0) >= inj.prof.TornTail {
+		return 0, false
+	}
+	f := inj.uniformProc(instance, kindTornFrac, 0, 0)
+	if f <= 0 {
+		f = 0.01
+	}
+	if f >= 1 {
+		f = 0.99
+	}
+	return f, true
+}
+
+// FailCheckpoint reports whether the checkpoint commit attempted at the
+// given fleet clock fails.
+func (inj *ProcInjector) FailCheckpoint(at sim.Time) bool {
+	if inj == nil || inj.prof.CheckpointFail <= 0 {
+		return false
+	}
+	return inj.uniformProc(0, kindCkptFail, 0, at) < inj.prof.CheckpointFail
+}
+
+// PanicPass reports whether the (network, tick, level) planning pass
+// panics.
+func (inj *ProcInjector) PanicPass(net int, at sim.Time, level int) bool {
+	if inj == nil || inj.prof.PanicPass <= 0 {
+		return false
+	}
+	return inj.uniformProc(net, kindPanicPass, level, at) < inj.prof.PanicPass
+}
+
+// StuckPass reports whether the (network, tick, level) planning pass
+// wedges until its watchdog deadline.
+func (inj *ProcInjector) StuckPass(net int, at sim.Time, level int) bool {
+	if inj == nil || inj.prof.StuckPass <= 0 {
+		return false
+	}
+	return inj.uniformProc(net, kindStuckPass, level, at) < inj.prof.StuckPass
+}

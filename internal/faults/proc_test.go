@@ -1,0 +1,127 @@
+package faults
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestProcNilInjectorIsFaultFree(t *testing.T) {
+	var inj *ProcInjector
+	if inj.Active() {
+		t.Fatal("nil injector reports Active")
+	}
+	if got := inj.KillAfterWrites(0); got != -1 {
+		t.Fatalf("nil KillAfterWrites = %d, want -1", got)
+	}
+	if _, ok := inj.TornTailFrac(0); ok {
+		t.Fatal("nil injector tears tails")
+	}
+	if inj.FailCheckpoint(sim.Hour) || inj.PanicPass(1, sim.Hour, 0) || inj.StuckPass(1, sim.Hour, 0) {
+		t.Fatal("nil injector injects faults")
+	}
+	if NewProc(nil) != nil {
+		t.Fatal("NewProc(nil) != nil")
+	}
+}
+
+// Kill instants are per process instance: bounded by KillSpan, exhausted
+// after Kills instances, and identical across independently built
+// injectors at the same seed.
+func TestProcKillInstantsDeterministic(t *testing.T) {
+	prof := &ProcProfile{Seed: 42, Kills: 3, KillSpan: 10}
+	a, b := NewProc(prof), NewProc(prof)
+	for inst := 0; inst < 3; inst++ {
+		ka, kb := a.KillAfterWrites(inst), b.KillAfterWrites(inst)
+		if ka != kb {
+			t.Fatalf("instance %d: kill points differ: %d vs %d", inst, ka, kb)
+		}
+		if ka < 1 || ka > 10 {
+			t.Fatalf("instance %d: kill point %d outside [1, KillSpan]", inst, ka)
+		}
+	}
+	if got := a.KillAfterWrites(3); got != -1 {
+		t.Fatalf("instance beyond Kills got kill point %d, want -1", got)
+	}
+	// Different seeds move the instants (with overwhelming probability
+	// over 16 instances).
+	c := NewProc(&ProcProfile{Seed: 43, Kills: 16, KillSpan: 1 << 20})
+	d := NewProc(&ProcProfile{Seed: 44, Kills: 16, KillSpan: 1 << 20})
+	same := 0
+	for inst := 0; inst < 16; inst++ {
+		if c.KillAfterWrites(inst) == d.KillAfterWrites(inst) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("seeds 43 and 44 produce identical kill schedules")
+	}
+}
+
+func TestProcTornTailFrac(t *testing.T) {
+	inj := NewProc(&ProcProfile{Seed: 7, TornTail: 1.0})
+	for inst := 0; inst < 32; inst++ {
+		f, ok := inj.TornTailFrac(inst)
+		if !ok {
+			t.Fatalf("instance %d: TornTail=1.0 did not tear", inst)
+		}
+		if f <= 0 || f >= 1 {
+			t.Fatalf("instance %d: torn fraction %v outside (0,1)", inst, f)
+		}
+	}
+	if _, ok := NewProc(&ProcProfile{Seed: 7}).TornTailFrac(0); ok {
+		t.Fatal("TornTail=0 tore a tail")
+	}
+}
+
+// Checkpoint failures are keyed by the attempt's fleet clock alone, so a
+// replayed controller and its uncrashed twin agree attempt by attempt.
+func TestProcCheckpointFailClockKeyed(t *testing.T) {
+	inj := NewProc(&ProcProfile{Seed: 11, CheckpointFail: 0.5})
+	fails, n := 0, 200
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * sim.Hour
+		if inj.FailCheckpoint(at) != inj.FailCheckpoint(at) {
+			t.Fatal("FailCheckpoint not a pure function of the clock")
+		}
+		if inj.FailCheckpoint(at) {
+			fails++
+		}
+	}
+	if fails < n/4 || fails > 3*n/4 {
+		t.Fatalf("fail rate %d/%d far from configured 0.5", fails, n)
+	}
+}
+
+// Pass panics and wedges are keyed by (network, clock, level): moving any
+// coordinate re-draws the decision, and the streams for panic and stuck
+// are disjoint.
+func TestProcPassFaultCoordinates(t *testing.T) {
+	inj := NewProc(&ProcProfile{Seed: 13, PanicPass: 0.5, StuckPass: 0.5})
+	var hits [2]int
+	n := 300
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * sim.Minute
+		if inj.PanicPass(5, at, 0) {
+			hits[0]++
+		}
+		if inj.StuckPass(5, at, 0) {
+			hits[1]++
+		}
+	}
+	for k, h := range hits {
+		if h < n/4 || h > 3*n/4 {
+			t.Fatalf("stream %d rate %d/%d far from 0.5", k, h, n)
+		}
+	}
+	agree := 0
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * sim.Minute
+		if inj.PanicPass(5, at, 0) == inj.StuckPass(5, at, 0) {
+			agree++
+		}
+	}
+	if agree == n {
+		t.Fatal("panic and stuck streams are identical")
+	}
+}

@@ -106,13 +106,22 @@ type Network struct {
 // Fleet is the synthesized population.
 type Fleet struct {
 	Networks []*Network
-	rng      *rand.Rand
+	// Opt is the resolved synthesis recipe this fleet was generated from.
+	// A fleet is a pure function of Opt, so recording it makes the whole
+	// population replayable from one small record (fleetd's intent journal
+	// relies on this: re-running Generate(Opt) is the recovery path).
+	Opt Options
+	rng *rand.Rand
 }
 
 // Options sizes the synthesis.
 type Options struct {
 	Seed     int64
 	Networks int // number of networks (default 1000)
+	// MaxAPs caps each network's AP count (0 = uncapped), clamping the
+	// log-normal size draw. Chaos campaigns use small caps to afford
+	// hundreds of networks per seed.
+	MaxAPs int
 	// MinAPs filters nothing at generation; the Section 3 queries filter
 	// to networks with >= 10 APs as the paper does.
 }
@@ -123,7 +132,7 @@ func Generate(opt Options) *Fleet {
 		opt.Networks = 1000
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	f := &Fleet{rng: rng}
+	f := &Fleet{Opt: opt, rng: rng}
 
 	ch24 := spectrum.NonOverlapping24
 	ch5 := spectrum.Channels(spectrum.Band5, spectrum.W20, false)
@@ -133,6 +142,9 @@ func Generate(opt Options) *Fleet {
 		size := int(math.Exp(rng.NormFloat64()*1.1+2.5)) + 1
 		if size > 900 {
 			size = 900
+		}
+		if opt.MaxAPs > 0 && size > opt.MaxAPs {
+			size = opt.MaxAPs
 		}
 		density := rng.Intn(3)
 		// Site area scales with AP count; denser classes pack tighter.

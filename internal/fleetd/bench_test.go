@@ -110,6 +110,14 @@ func benchFleetScale(b *testing.B, networks int, artifact string) {
 		"ns_per_pass":       float64(b.Elapsed().Nanoseconds()) / passes,
 		"allocs_per_pass":   allocsPerPass,
 		"skip_rate_i0":      skipRate,
+		// Supervision health: all must be zero in a fault-free sweep. A
+		// nonzero value here means the bench itself tripped the
+		// panic-recovery or watchdog machinery — a regression to chase.
+		"quarantined":      float64(c.met.quarantined.Value()),
+		"pass_panics":      float64(c.met.passPanics.Value()),
+		"watchdog_cancels": float64(c.met.watchdogCancels.Value()),
+		"ckpt_commits":     float64(c.met.ckptCommits.Value()),
+		"ckpt_failures":    float64(c.met.ckptFailures.Value()),
 	})
 }
 

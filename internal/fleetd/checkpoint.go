@@ -1,0 +1,320 @@
+package fleetd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/littletable"
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// Checkpoints. A checkpoint renders the controller's durable state —
+// registry membership, scheduler deadlines, per-network pass accounting,
+// planner objectives, dirty-skip memos, and last-known-good telemetry
+// digests — into littletable tables and serialises them with the store's
+// deterministic Save order. The blob is therefore a canonical byte string
+// of the fleet's state: two controllers are equivalent iff their
+// checkpoint bytes are equal, which is exactly the invariant the restart
+// property test and the kill-chaos campaign pin.
+//
+// Checkpoints are NOT replay shortcuts: recovery always replays the
+// journal from the beginning (per-network engines cannot be serialised;
+// determinism reconstructs them exactly). A stored checkpoint instead
+// verifies the replay — when the replayed clock passes the instant the
+// blob was committed at, the recomputed bytes must match it exactly.
+//
+// uint64 digests do not fit littletable's float64 fields exactly, so
+// they are split into hi/lo 32-bit halves (each exactly representable).
+
+// ckptEpoch is the upper time bound used when dumping checkpoint tables.
+const ckptEpoch = sim.Time(1) << 62
+
+// putU64 splits a uint64 across two exactly-representable float fields.
+func putU64(f map[string]float64, name string, v uint64) {
+	f[name+"_hi"] = float64(v >> 32)
+	f[name+"_lo"] = float64(v & 0xffffffff)
+}
+
+// fnvBytes is FNV-1a over a byte slice (checkpoint content digests).
+func fnvBytes(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// checkpointBytes renders the controller's current state as the
+// canonical checkpoint blob. Callers must be in the serial control-loop
+// context (no passes in flight).
+func (c *Controller) checkpointBytes() []byte {
+	db := littletable.NewDB()
+
+	quarantined := 0
+	netTab := db.Table("ckpt_net")
+	for _, ns := range c.nets() {
+		if ns.quarantined {
+			quarantined++
+		}
+		f := map[string]float64{
+			"id":        float64(ns.id),
+			"aps":       float64(ns.apCount),
+			"built":     boolField(ns.build == nil),
+			"quar":      boolField(ns.quarantined),
+			"coalesced": float64(ns.coalesced),
+		}
+		for level := 0; level < numLevels; level++ {
+			f["passes_"+levelName(level)] = float64(ns.passes[level])
+			f["shed_"+levelName(level)] = float64(ns.shed[level])
+		}
+		// A quarantined network's backend froze mid-fault (a wedged pass
+		// aborts at a wall-clock-dependent point), so its planner-visible
+		// state is excluded from the canonical bytes; the flag and the
+		// scheduler-side accounting above remain.
+		if ns.be != nil && !ns.quarantined {
+			f["switches"] = float64(ns.be.Switches())
+			f["converged"] = boolField(ns.be.Converged())
+			f["lognetp5"] = ns.be.Service.LastLogNetP[spectrum.Band5]
+			f["lognetp24"] = ns.be.Service.LastLogNetP[spectrum.Band2G4]
+			f["degraded"] = float64(ns.be.Service.DegradedTotal)
+			putU64(f, "reports", ns.be.ReportsDigest())
+			memos := ns.be.Service.SkipMemos()
+			if d, ok := memos[spectrum.Band5]; ok {
+				putU64(f, "memo5", d)
+				f["memo5_set"] = 1
+			}
+			if d, ok := memos[spectrum.Band2G4]; ok {
+				putU64(f, "memo24", d)
+				f["memo24_set"] = 1
+			}
+		}
+		netTab.Insert(ns.key, c.now, f)
+	}
+
+	meta := map[string]float64{
+		"now":         float64(c.now),
+		"networks":    float64(c.Len()),
+		"next_ckpt":   float64(c.nextCkptAt),
+		"deg_active":  boolField(c.deg.active),
+		"deg_fails":   float64(c.deg.fails),
+		"deg_retry":   float64(c.deg.retryAt),
+		"quarantined": float64(quarantined),
+	}
+	putU64(meta, "seed", uint64(c.cfg.Seed))
+	putU64(meta, "cfg", c.cfg.digest())
+	db.Table("ckpt_meta").Insert("fleet", c.now, meta)
+
+	schedTab := db.Table("ckpt_sched")
+	for _, e := range c.sched.entries() {
+		schedTab.Insert(netKey(e.id), e.at, map[string]float64{"level": float64(e.level)})
+	}
+
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		// Save to a bytes.Buffer cannot fail; keep the invariant loud.
+		panic(fmt.Sprintf("fleetd: checkpoint render: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func boolField(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// CheckpointBytes exposes the canonical state blob (tests compare it
+// between a recovered controller and its uncrashed twin).
+func (c *Controller) CheckpointBytes() []byte { return c.checkpointBytes() }
+
+// ckptClock extracts the commit clock embedded in a checkpoint blob.
+func ckptClock(data []byte) (sim.Time, error) {
+	db := littletable.NewDB()
+	if err := db.Load(bytes.NewReader(data)); err != nil {
+		return 0, fmt.Errorf("fleetd: stored checkpoint unreadable: %w", err)
+	}
+	rows := db.Table("ckpt_meta").Range("fleet", 0, ckptEpoch)
+	if len(rows) == 0 {
+		return 0, errors.New("fleetd: stored checkpoint has no ckpt_meta row")
+	}
+	return sim.Time(rows[0].Fields["now"]), nil
+}
+
+// advanceCkptGrid moves the periodic schedule past t. It runs once per
+// attempt, before the state bytes are rendered, in live and replay modes
+// alike, so the schedule cursor inside the blob is mode-independent.
+func (c *Controller) advanceCkptGrid(t sim.Time) {
+	for c.nextCkptAt <= t {
+		c.nextCkptAt += c.cfg.CheckpointEvery
+	}
+}
+
+// degradedState tracks checkpoint-failure degradation: while active, deep
+// passes are demoted to i=0 execution with their intent re-queued (never
+// dropped) and the next commit is retried at an escalating deferral.
+type degradedState struct {
+	active  bool
+	fails   int // consecutive failed attempts
+	retryAt sim.Time
+}
+
+// isDegraded reports whether deep passes should currently be demoted —
+// either the checkpoint path is failing or the scheduler is lagging past
+// its wall-clock budget.
+func (c *Controller) isDegraded() bool { return c.deg.active || c.lagDegraded }
+
+// degradedDefer is the current deferral for demoted deep intent and for
+// checkpoint retries: one fast cadence on first failure, doubling with
+// consecutive failures, capped near one mid cadence. A pure function of
+// the failure count, so replay and the uncrashed twin compute the same
+// deferrals.
+func (c *Controller) degradedDefer() sim.Time {
+	base := c.cfg.Fast
+	if base <= 0 {
+		base = 15 * sim.Minute
+	}
+	lim := c.cfg.Mid
+	if lim <= 0 {
+		lim = 12 * base
+	}
+	d := base
+	for i := 1; i < c.deg.fails && d < lim; i++ {
+		d *= 2
+	}
+	if d > lim {
+		d = lim
+	}
+	return d
+}
+
+// ckptFailed records a failed commit attempt at clock t: enter (or
+// escalate) degraded mode and arm the retry.
+func (c *Controller) ckptFailed(t sim.Time) {
+	if !c.deg.active {
+		c.met.degradedEnters.Inc()
+	}
+	c.deg.active = true
+	c.deg.fails++
+	c.deg.retryAt = t + c.degradedDefer()
+}
+
+// ckptSucceeded clears checkpoint-failure degradation.
+func (c *Controller) ckptSucceeded() {
+	c.deg = degradedState{}
+}
+
+// checkpointAt runs the checkpoint machinery at one serial instant t (a
+// tick boundary or an advance end). In live mode it evaluates the
+// periodic/retry schedule, consults the injected failure model, commits
+// through the store, and journals the outcome. During journal replay it
+// instead consumes the recorded outcomes at this instant, re-applies
+// their state transitions, and verifies the recomputed state bytes
+// against the recorded digest — and against the stored checkpoint blob
+// when the clocks align.
+func (c *Controller) checkpointAt(t sim.Time) error {
+	if c.store == nil || c.cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	for {
+		r, ok := c.replayHead()
+		if !ok || (r.Op != opCkpt && r.Op != opCkptFail) {
+			break
+		}
+		if at := sim.Time(r.To); at != t {
+			if at < t {
+				return fmt.Errorf("fleetd: replay diverged: checkpoint record for clock %v unconsumed at %v", at, t)
+			}
+			break // belongs to a later instant
+		}
+		c.replayPop()
+		c.advanceCkptGrid(t)
+		if r.Op == opCkptFail {
+			c.met.ckptFailures.Inc()
+			c.ckptFailed(t)
+			continue
+		}
+		data := c.checkpointBytes()
+		if fnvBytes(data) != r.Digest {
+			return fmt.Errorf("fleetd: replay diverged: checkpoint digest mismatch at %v", t)
+		}
+		if c.storedCkpt != nil && c.storedCkptAt == t && !bytes.Equal(data, c.storedCkpt) {
+			return fmt.Errorf("fleetd: replay diverged: stored checkpoint at %v does not match replayed state", t)
+		}
+		c.met.ckptCommits.Inc()
+		c.ckptSucceeded()
+	}
+	if c.replaying() {
+		return nil
+	}
+	if t < c.nextCkptAt && !(c.deg.active && t >= c.deg.retryAt) {
+		return nil
+	}
+	c.advanceCkptGrid(t)
+	if c.proc.FailCheckpoint(t) {
+		c.met.ckptFailures.Inc()
+		if err := c.appendRecord(jrec{Op: opCkptFail, To: int64(t)}); err != nil {
+			return err
+		}
+		c.ckptFailed(t)
+		return nil
+	}
+	data := c.checkpointBytes()
+	if err := c.store.CommitCheckpoint(data); err != nil {
+		if errors.Is(err, ErrKilled) {
+			c.dead = true
+			return err
+		}
+		// A real IO failure degrades the fleet instead of stopping it:
+		// intent survives in the journal, deep passes demote, and the
+		// commit retries on the escalating schedule.
+		c.met.ckptFailures.Inc()
+		if aerr := c.appendRecord(jrec{Op: opCkptFail, To: int64(t)}); aerr != nil {
+			return aerr
+		}
+		c.ckptFailed(t)
+		return nil
+	}
+	c.met.ckptCommits.Inc()
+	c.ckptSucceeded()
+	return c.appendRecord(jrec{Op: opCkpt, To: int64(t), Digest: fnvBytes(data)})
+}
+
+// Checkpoint forces an immediate commit regardless of the periodic
+// schedule — the graceful-shutdown path and an operator lever. Forced
+// commits skip the injected failure model (they replay by their position
+// in the journal, not by the schedule).
+func (c *Controller) Checkpoint() error {
+	if c.store == nil {
+		return nil
+	}
+	if c.dead {
+		return ErrKilled
+	}
+	data := c.checkpointBytes()
+	if err := c.store.CommitCheckpoint(data); err != nil {
+		if errors.Is(err, ErrKilled) {
+			c.dead = true
+		}
+		return err
+	}
+	c.met.ckptCommits.Inc()
+	c.ckptSucceeded()
+	return c.appendRecord(jrec{Op: opCkpt, To: int64(c.now), Digest: fnvBytes(data)})
+}
+
+// Close writes a final checkpoint and the clean-shutdown marker. A nil
+// error means the journal ends in a verified durable state (the "clean
+// exit" the fleetd binary reports with exit code 0).
+func (c *Controller) Close() error {
+	if c.store == nil {
+		return nil
+	}
+	if err := c.Checkpoint(); err != nil {
+		return err
+	}
+	return c.appendRecord(jrec{Op: opShutdown})
+}

@@ -33,12 +33,16 @@
 package fleetd
 
 import (
+	"errors"
+	"hash/fnv"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/littletable"
 	"repro/internal/obs"
@@ -93,6 +97,24 @@ type Config struct {
 	// Obs receives the controller's own "fleetd" scope (default
 	// obs.Default()).
 	Obs *obs.Registry
+	// CheckpointEvery is the periodic checkpoint cadence on the fleet
+	// clock when the controller runs against a Store (Open defaults it to
+	// one hour; negative disables periodic checkpoints — forced
+	// Checkpoint/Close still work). Ignored without a store.
+	CheckpointEvery sim.Time
+	// PassDeadline is the wall-clock watchdog per planning pass: a pass
+	// still running this long after dispatch has its backend context
+	// cancelled and its network quarantined. 0 disables the watchdog.
+	PassDeadline time.Duration
+	// LagBudget is the wall-clock budget per scheduler tick: a tick's
+	// serial+parallel work exceeding it drops the fleet to degraded (i=0
+	// only) cadence until ticks run at half the budget again. 0 disables
+	// lag degradation.
+	LagBudget time.Duration
+	// Proc injects process-level chaos (seeded kills, checkpoint-write
+	// failures, torn journal tails, pass panics and wedges) for the
+	// crash-safety campaign. Nil means no injected process faults.
+	Proc *faults.ProcProfile
 }
 
 // withDefaults resolves the zero values.
@@ -129,6 +151,29 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// digest folds the result-affecting configuration into the journal's
+// config record, so a journal is never replayed under a configuration
+// that would reconstruct different state. Shards/Workers/Obs and the
+// wall-clock knobs are deliberately excluded: they never affect state
+// bytes.
+func (c Config) digest() uint64 {
+	h := fnv.New64a()
+	wr := func(vs ...int64) {
+		for _, v := range vs {
+			h.Write([]byte(strconv.FormatInt(v, 10)))
+			h.Write([]byte{0})
+		}
+	}
+	wr(c.Seed, int64(c.Fast), int64(c.Mid), int64(c.Deep),
+		int64(c.MaxPassesPerTick), int64(c.Retention), int64(c.CheckpointEvery))
+	if c.DisableDirtySkip {
+		wr(1)
+	} else {
+		wr(0)
+	}
+	return h.Sum64()
+}
+
 // NetOptions customizes one network's registration.
 type NetOptions struct {
 	// Fast, Mid, Deep override the controller's cadences for this
@@ -163,6 +208,11 @@ type netState struct {
 	passes    [numLevels]int
 	shed      [numLevels]int
 	coalesced int
+
+	// quarantined marks a network whose pass faulted (panic or watchdog
+	// cancellation): it is dropped from the scheduler, skipped by engine
+	// syncs, and its backend-derived state is excluded from checkpoints.
+	quarantined bool
 }
 
 // ensureBuilt materializes the network's control plane. Callers must hold
@@ -198,12 +248,30 @@ type Controller struct {
 	now   sim.Time
 	db    *littletable.DB
 	met   *metrics
+
+	// Durability (nil store = ephemeral controller, PR 1-6 behavior).
+	store        Store
+	seq          int          // last journal sequence number written or replayed
+	replay       *replayState // non-nil while Open replays; nil once live
+	proc         *faults.ProcInjector
+	dead         bool // the store reported ErrKilled; every run refuses
+	storedCkpt   []byte
+	storedCkptAt sim.Time
+	nextCkptAt   sim.Time
+	deg          degradedState
+	lagDegraded  bool
+	wallNow      func() time.Time // injectable for lag tests
 }
 
 // New builds an empty controller; register networks with Add or AddFleet.
 func New(cfg Config) *Controller {
 	cfg = cfg.withDefaults()
 	c := &Controller{cfg: cfg, db: littletable.NewDB(), met: metricsOn(cfg.Obs)}
+	c.proc = faults.NewProc(cfg.Proc)
+	c.wallNow = time.Now
+	if cfg.CheckpointEvery > 0 {
+		c.nextCkptAt = cfg.CheckpointEvery
+	}
 	if cfg.Retention > 0 {
 		c.db.SetRetention(cfg.Retention)
 	}
@@ -211,6 +279,30 @@ func New(cfg Config) *Controller {
 		c.sh = append(c.sh, &shard{nets: map[int]*netState{}})
 	}
 	return c
+}
+
+// appendRecord stamps the next sequence number and durably appends one
+// journal record. A store kill marks the controller dead; the caller's
+// run aborts with ErrKilled.
+func (c *Controller) appendRecord(r jrec) error {
+	if c.store == nil {
+		return nil
+	}
+	c.seq++
+	r.Seq = c.seq
+	line, err := encodeRecord(r)
+	if err != nil {
+		c.seq--
+		return err
+	}
+	if err := c.store.AppendJournal(line); err != nil {
+		if errors.Is(err, ErrKilled) {
+			c.dead = true
+		}
+		return err
+	}
+	c.met.journalRecords.Inc()
+	return nil
 }
 
 // DB exposes the shared fleet telemetry store for ad-hoc Section 3-style
@@ -254,14 +346,47 @@ func netSeed(seed int64, id int) int64 {
 // only records the build closure and cadence deadlines (see netState), so
 // this is cheap even at 100k networks; the control planes materialize on
 // the worker pool as the scheduler first reaches them.
-func (c *Controller) AddFleet(f *fleet.Fleet) {
+//
+// Against a store, the registration intent is journaled first: a
+// generated fleet costs one record (its fleet.Options — replay re-runs
+// fleet.Generate), a hand-assembled one falls back to one record per
+// network. A journal-append failure leaves nothing registered.
+func (c *Controller) AddFleet(f *fleet.Fleet) error {
+	if c.store != nil {
+		if f.Opt.Networks > 0 {
+			opt := f.Opt
+			if err := c.appendRecord(jrec{Op: opAddFleet, Fleet: &opt}); err != nil {
+				return err
+			}
+		} else {
+			for _, n := range f.Networks {
+				if err := c.appendRecord(jrec{Op: opAdd, Net: n, Opt: &NetOptions{}}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	c.addFleet(f)
+	return nil
+}
+
+func (c *Controller) addFleet(f *fleet.Fleet) {
 	for _, n := range f.Networks {
 		c.register(c.buildNet(n, NetOptions{}))
 	}
 }
 
-// Add registers one network with optional per-network cadence overrides.
-func (c *Controller) Add(n *fleet.Network, opt NetOptions) {
+// Add registers one network with optional per-network cadence overrides,
+// journaling the intent (network inlined) when a store is attached.
+func (c *Controller) Add(n *fleet.Network, opt NetOptions) error {
+	if err := c.appendRecord(jrec{Op: opAdd, Net: n, Opt: &opt}); err != nil {
+		return err
+	}
+	c.add(n, opt)
+	return nil
+}
+
+func (c *Controller) add(n *fleet.Network, opt NetOptions) {
 	c.register(c.buildNet(n, opt))
 }
 
@@ -339,8 +464,16 @@ func (c *Controller) register(ns *netState) {
 // Remove deregisters a network. It never fires again: its pending heap
 // entries are dropped immediately, and any entry that survives (e.g.
 // pushed by a concurrent reschedule) is discarded on pop. Returns false
-// if the network is unknown.
+// if the network is unknown (the journal still records the intent:
+// removing an unknown ID replays as the same no-op).
 func (c *Controller) Remove(id int) bool {
+	if err := c.appendRecord(jrec{Op: opRemove, ID: id}); err != nil {
+		return false
+	}
+	return c.remove(id)
+}
+
+func (c *Controller) remove(id int) bool {
 	sh := c.shardFor(id)
 	sh.mu.Lock()
 	_, ok := sh.nets[id]
@@ -360,6 +493,9 @@ type passJob struct {
 	ns     *netState
 	level  int   // deepest due level; its hop schedule runs
 	levels []int // all due levels (deepest included), for rescheduling
+	// demoted marks a deep job executed at i=0 under degraded mode; its
+	// deep intent is re-queued at the degraded deferral, never dropped.
+	demoted bool
 }
 
 // passResult is what a worker brings back to the serial ingest section.
@@ -372,33 +508,69 @@ type passResult struct {
 	// a skipped invocation leaves every planner-visible byte identical to
 	// having run it.
 	skipped int
+	// faulted marks a pass that panicked or blew its watchdog deadline;
+	// the serial section quarantines its network and ingests nothing.
+	faulted bool
 }
 
-// Run advances the fleet clock by d, executing every scheduled pass that
-// falls due. Between ticks the per-network engines advance lazily (a
-// network's engine only moves when it has a pass); at the end of Run all
-// engines are synced to the final clock so polls, retries, and
-// reconciliation catch up and a Snapshot reflects one instant.
-func (c *Controller) Run(d sim.Time) {
-	end := c.now + d
+// Run advances the fleet clock by d. It is RunTo with the error
+// discarded — the ephemeral-controller API, where no store means no
+// journal appends, no checkpoints, and nothing that can fail.
+func (c *Controller) Run(d sim.Time) { _ = c.RunTo(c.now + d) }
+
+// RunTo advances the fleet clock to t, executing every scheduled pass
+// that falls due. Against a store the advance intent is journaled ahead
+// of the work, so a crash anywhere inside it replays the whole advance.
+// Returns ErrKilled when the store's process fault model fired; re-Open
+// the store to recover and continue.
+func (c *Controller) RunTo(t sim.Time) error {
+	if c.dead {
+		return ErrKilled
+	}
+	if t <= c.now {
+		return nil
+	}
+	if err := c.appendRecord(jrec{Op: opAdvance, To: int64(t)}); err != nil {
+		return err
+	}
+	return c.runTo(t)
+}
+
+// runTo executes one advance (live or replayed). Between ticks the
+// per-network engines advance lazily (a network's engine only moves when
+// it has a pass); at the end all engines are synced to the final clock so
+// polls, retries, and reconciliation catch up and a Snapshot reflects one
+// instant.
+func (c *Controller) runTo(end sim.Time) error {
 	for {
+		if c.dead {
+			return ErrKilled
+		}
 		t, due := c.sched.popDue(end)
 		if due == nil {
 			break
 		}
 		c.now = t
-		c.runTick(t, due)
+		if err := c.runTick(t, due); err != nil {
+			return err
+		}
+		if err := c.checkpointAt(t); err != nil {
+			return err
+		}
 	}
 	c.now = end
 	c.syncEngines(end)
+	return c.checkpointAt(end)
 }
 
 // runTick resolves one deadline instant: group due entries per network
-// (deepest level wins, shallower ones coalesce into it), shed the excess
-// beyond the pass budget deepest-first, execute survivors on the worker
-// pool, then ingest their telemetry and reschedule — both in ascending
+// (deepest level wins, shallower ones coalesce into it), demote deep
+// work under degradation, shed the excess beyond the pass budget
+// deepest-first, execute survivors on the worker pool under supervision,
+// then ingest their telemetry and reschedule — both in ascending
 // network-ID order.
-func (c *Controller) runTick(t sim.Time, due []passEntry) {
+func (c *Controller) runTick(t sim.Time, due []passEntry) error {
+	tickStart := c.wallNow()
 	c.met.duePerTick.Observe(int64(len(due)))
 
 	// Group per network. due is sorted by (id, level), so one linear scan
@@ -409,6 +581,11 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 		if ns == nil {
 			// Removed after this entry was pushed: drop, never reschedule.
 			c.met.removedDropped.Inc()
+			continue
+		}
+		if ns.quarantined {
+			// Defensive: quarantine drops all pending entries, so nothing
+			// should reach here; anything that does is dropped the same way.
 			continue
 		}
 		if len(jobs) > 0 && jobs[len(jobs)-1].ns == ns {
@@ -422,6 +599,50 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 			continue
 		}
 		jobs = append(jobs, &passJob{ns: ns, level: e.level, levels: []int{e.level}})
+	}
+
+	// Degraded demotion. Deep (i>0) jobs due while the fleet is degraded
+	// execute at i=0 and their deep intent re-queues at the degraded
+	// deferral. The decision is journaled write-ahead (one demote record
+	// per affected tick): checkpoint-failure degradation replays from
+	// ckptfail records, but wall-clock lag degradation does not — the
+	// record is what makes both replay exactly.
+	hasDeep := false
+	for _, j := range jobs {
+		if j.level > levelFast {
+			hasDeep = true
+			break
+		}
+	}
+	demote := false
+	if hasDeep {
+		if c.replaying() {
+			r, _ := c.replayHead()
+			switch {
+			case r.Op == opDemote && sim.Time(r.To) == t:
+				c.replayPop()
+				demote = true
+			case r.Op == opDemote && sim.Time(r.To) < t:
+				return errReplayDiverged("demote record for clock %v unconsumed at %v", sim.Time(r.To), t)
+			case c.deg.active:
+				// Checkpoint degradation is replayed deterministically, so a
+				// missing demote record means the live run saw different state.
+				return errReplayDiverged("degraded tick at %v has no demote record", t)
+			}
+		} else if c.isDegraded() {
+			if err := c.appendRecord(jrec{Op: opDemote, To: int64(t)}); err != nil {
+				return err
+			}
+			demote = true
+		}
+	}
+	if demote {
+		for _, j := range jobs {
+			if j.level > levelFast {
+				j.level = levelFast
+				j.demoted = true
+			}
+		}
 	}
 
 	// Shed: keep the budget's worth of passes, preferring shallow levels
@@ -445,8 +666,9 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 		c.met.passesShed[j.level].Inc()
 	}
 
-	// Execute surviving passes on the bounded worker pool. Each job only
-	// touches its own network's state; results return by index.
+	// Execute surviving passes on the bounded worker pool, each under
+	// panic/watchdog supervision. Each job only touches its own network's
+	// state; results return by index.
 	results := make([]*passResult, len(run))
 	dispatched := time.Now()
 	var wg sync.WaitGroup
@@ -458,7 +680,7 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 			defer func() { <-sem; wg.Done() }()
 			c.met.schedLagUS.Observe(time.Since(dispatched).Microseconds())
 			passStart := time.Now()
-			results[i] = c.executePass(t, j)
+			results[i] = c.executePassSupervised(t, j)
 			c.met.passUS.Observe(time.Since(passStart).Microseconds())
 		}(i, j)
 	}
@@ -467,6 +689,7 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 	// Serial section: account, batch-ingest, reschedule — in the jobs'
 	// (ascending-ID) order for run+shed alike, so the shared DB's
 	// contents and every counter are independent of worker interleaving.
+	// A faulted pass quarantines its network here and contributes nothing.
 	ingestStart := time.Now()
 	byJob := map[*passJob]*passResult{}
 	for i, j := range run {
@@ -479,6 +702,10 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 		if !ok || res == nil {
 			continue // shed this tick
 		}
+		if res.faulted {
+			c.quarantine(j.ns)
+			continue
+		}
 		j.ns.passes[j.level]++
 		c.met.passesRun[j.level].Inc()
 		c.met.skippedI0.Add(int64(res.skipped))
@@ -488,12 +715,43 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) {
 	}
 	c.met.ingestUS.Observe(time.Since(ingestStart).Microseconds())
 	for _, j := range jobs {
+		if j.ns.quarantined {
+			continue
+		}
 		for _, level := range j.levels {
-			if period := j.ns.cadence[level]; period > 0 {
-				c.sched.push(passEntry{at: t + period, id: j.ns.id, level: level})
+			period := j.ns.cadence[level]
+			if period <= 0 {
+				continue
 			}
+			at := t + period
+			if j.demoted && level > levelFast {
+				// Demoted deep intent re-queues at the degraded deferral
+				// instead of its cadence — sooner, so depth recovers quickly
+				// once the fleet leaves degraded mode.
+				at = t + c.degradedDefer()
+				c.met.degradedDemoted.Inc()
+			}
+			c.sched.push(passEntry{at: at, id: j.ns.id, level: level})
 		}
 	}
+
+	// Wall-clock lag degradation (live only — replay timing is synthetic).
+	// Entering demotes deep work from the NEXT tick on; leaving requires
+	// ticks back at half the budget, the hysteresis that keeps a
+	// borderline fleet from flapping.
+	if !c.replaying() && c.cfg.LagBudget > 0 {
+		dur := c.wallNow().Sub(tickStart)
+		switch {
+		case dur > c.cfg.LagBudget:
+			if !c.lagDegraded {
+				c.met.lagDegraded.Inc()
+			}
+			c.lagDegraded = true
+		case dur <= c.cfg.LagBudget/2:
+			c.lagDegraded = false
+		}
+	}
+	return nil
 }
 
 // executePass advances one network's control plane to the tick instant
@@ -540,13 +798,17 @@ func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
 }
 
 // syncEngines advances every network's engine to the fleet clock on the
-// worker pool (each engine is private to its network).
+// worker pool (each engine is private to its network). Quarantined
+// networks are frozen where their fault stopped them.
 func (c *Controller) syncEngines(t sim.Time) {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, c.cfg.Workers)
 	for _, s := range c.sh {
 		s.mu.RLock()
 		for _, ns := range s.nets {
+			if ns.quarantined {
+				continue
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(ns *netState) {

@@ -25,6 +25,21 @@ import "repro/internal/obs"
 //	fleetd.pass_us           wall µs per executed pass (engine advance +
 //	                         planning + telemetry collection)
 //	fleetd.ingest_us         wall µs per per-tick batched ingest section
+//
+// Durability and supervision (PR 7):
+//
+//	fleetd.journal_records   intent-journal records durably appended
+//	fleetd.ckpt_commits      checkpoints committed (periodic + forced)
+//	fleetd.ckpt_failures     checkpoint attempts that failed (injected or
+//	                         real IO), entering/escalating degraded mode
+//	fleetd.torn_dropped      torn journal tail records dropped at Open
+//	fleetd.recoveries        journal replays performed by Open
+//	fleetd.degraded_enters   transitions into checkpoint-degraded mode
+//	fleetd.degraded_demoted  deep passes demoted to i=0 under degradation
+//	fleetd.lag_degraded      transitions into scheduler-lag degraded mode
+//	fleetd.pass_panics       panicking passes caught by the supervisor
+//	fleetd.watchdog_cancels  stuck passes cancelled past their deadline
+//	fleetd.quarantined       networks quarantined after a faulted pass
 type metrics struct {
 	networks       *obs.Gauge
 	passesRun      [numLevels]*obs.Counter
@@ -38,6 +53,18 @@ type metrics struct {
 	schedLagUS     *obs.Histogram
 	passUS         *obs.Histogram
 	ingestUS       *obs.Histogram
+
+	journalRecords  *obs.Counter
+	ckptCommits     *obs.Counter
+	ckptFailures    *obs.Counter
+	tornDropped     *obs.Counter
+	recoveries      *obs.Counter
+	degradedEnters  *obs.Counter
+	degradedDemoted *obs.Counter
+	lagDegraded     *obs.Counter
+	passPanics      *obs.Counter
+	watchdogCancels *obs.Counter
+	quarantined     *obs.Counter
 }
 
 func metricsOn(reg *obs.Registry) *metrics {
@@ -53,6 +80,18 @@ func metricsOn(reg *obs.Registry) *metrics {
 		schedLagUS:     s.Histogram("sched_lag_us", "µs"),
 		passUS:         s.Histogram("pass_us", "µs"),
 		ingestUS:       s.Histogram("ingest_us", "µs"),
+
+		journalRecords:  s.Counter("journal_records"),
+		ckptCommits:     s.Counter("ckpt_commits"),
+		ckptFailures:    s.Counter("ckpt_failures"),
+		tornDropped:     s.Counter("torn_dropped"),
+		recoveries:      s.Counter("recoveries"),
+		degradedEnters:  s.Counter("degraded_enters"),
+		degradedDemoted: s.Counter("degraded_demoted"),
+		lagDegraded:     s.Counter("lag_degraded"),
+		passPanics:      s.Counter("pass_panics"),
+		watchdogCancels: s.Counter("watchdog_cancels"),
+		quarantined:     s.Counter("quarantined"),
 	}
 	for level := 0; level < numLevels; level++ {
 		m.passesRun[level] = s.Counter("passes_" + levelName(level))

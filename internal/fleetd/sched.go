@@ -2,6 +2,7 @@ package fleetd
 
 import (
 	"container/heap"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -89,6 +90,22 @@ func (s *scheduler) popDue(maxAt sim.Time) (sim.Time, []passEntry) {
 		due = append(due, heap.Pop(&s.h).(passEntry))
 	}
 	return t, due
+}
+
+// entries returns a copy of all pending entries in total (at, id, level)
+// order — the canonical dump checkpoints serialise.
+func (s *scheduler) entries() []passEntry {
+	out := append([]passEntry(nil), s.h...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].at != out[j].at {
+			return out[i].at < out[j].at
+		}
+		if out[i].id != out[j].id {
+			return out[i].id < out[j].id
+		}
+		return out[i].level < out[j].level
+	})
+	return out
 }
 
 // dropNetwork removes every pending entry for a network (after Remove),

@@ -29,6 +29,12 @@ type NetworkStatus struct {
 	// Degraded counts band-invocations whose deep passes the staleness
 	// guard downgraded to i=0.
 	Degraded int
+	// Quarantined marks a network isolated after a faulted pass (panic or
+	// watchdog cancellation). Its planner-derived fields read as zero: the
+	// fault froze its backend at a wall-clock-dependent point, so those
+	// values are not deterministic and are excluded here exactly as they
+	// are from checkpoint bytes.
+	Quarantined bool
 }
 
 // Snapshot is the fleet-wide state at one instant: every network's
@@ -41,6 +47,8 @@ type Snapshot struct {
 	// TotalAPs, TotalSwitches, ConvergedNets aggregate the rows above.
 	TotalAPs, TotalSwitches, ConvergedNets int
 	Passes, Shed                           [numLevels]int
+	// QuarantinedNets counts networks isolated by pass supervision.
+	QuarantinedNets int
 
 	// LogNetP5 summarizes the per-network 5 GHz objective across networks
 	// that have completed at least one pass; Util summarizes the modeled
@@ -67,14 +75,19 @@ func (c *Controller) Snapshot() Snapshot {
 			// pending) has run nothing and diverged from nothing; it reads
 			// as a converged zero row, exactly like a built network before
 			// its first pass.
-			Converged: true,
+			Converged:   true,
+			Quarantined: ns.quarantined,
 		}
-		if ns.be != nil {
+		if ns.be != nil && !ns.quarantined {
 			st.LogNetP5 = ns.be.Service.LastLogNetP[spectrum.Band5]
 			st.LogNetP24 = ns.be.Service.LastLogNetP[spectrum.Band2G4]
 			st.Converged = ns.be.Converged()
 			st.Switches = ns.be.Switches()
 			st.Degraded = ns.be.Service.DegradedTotal
+		}
+		if ns.quarantined {
+			st.Converged = false
+			snap.QuarantinedNets++
 		}
 		snap.Networks = append(snap.Networks, st)
 		snap.TotalAPs += st.APs
@@ -104,26 +117,42 @@ func (s Snapshot) WriteText(w *strings.Builder) {
 		len(s.Networks), s.TotalAPs, s.ConvergedNets, len(s.Networks), s.TotalSwitches)
 	fmt.Fprintf(w, "passes: i0=%d i1=%d i2=%d  shed: i0=%d i1=%d i2=%d\n",
 		s.Passes[0], s.Passes[1], s.Passes[2], s.Shed[0], s.Shed[1], s.Shed[2])
+	if s.QuarantinedNets > 0 {
+		fmt.Fprintf(w, "quarantined: %d networks isolated after faulted passes\n", s.QuarantinedNets)
+	}
 	fmt.Fprintf(w, "logNetP5 across networks: %v\n", s.LogNetP5)
 	fmt.Fprintf(w, "AP utilization across fleet: %v\n", s.Util)
 	worst := s.worstNetworks(5)
 	if len(worst) > 0 {
 		fmt.Fprintf(w, "worst networks by logNetP5:\n")
 		for _, st := range worst {
+			if st.Quarantined {
+				fmt.Fprintf(w, "  %s  aps=%-4d QUARANTINED\n", st.Key, st.APs)
+				continue
+			}
 			fmt.Fprintf(w, "  %s  aps=%-4d logNetP5=%8.2f converged=%-5v switches=%d\n",
 				st.Key, st.APs, st.LogNetP5, st.Converged, st.Switches)
 		}
 	}
 }
 
-// worstNetworks returns up to n planned networks with the lowest 5 GHz
-// objective, worst first, ties broken by ascending ID.
+// worstNetworks returns up to n networks needing attention, worst first:
+// quarantined networks lead (a faulted control plane beats any bad
+// objective), then planned networks by lowest 5 GHz objective, ties
+// broken by ascending ID.
 func (s Snapshot) worstNetworks(n int) []NetworkStatus {
 	var planned []NetworkStatus
 	for _, st := range s.Networks {
-		if st.Passes[levelFast]+st.Passes[levelMid]+st.Passes[levelDeep] > 0 {
+		if st.Quarantined ||
+			st.Passes[levelFast]+st.Passes[levelMid]+st.Passes[levelDeep] > 0 {
 			planned = append(planned, st)
 		}
+	}
+	rank := func(st NetworkStatus) int {
+		if st.Quarantined {
+			return 0
+		}
+		return 1
 	}
 	// Selection by repeated minimum keeps this dependency-free and the
 	// order fully deterministic.
@@ -131,8 +160,15 @@ func (s Snapshot) worstNetworks(n int) []NetworkStatus {
 	for len(out) < n && len(planned) > 0 {
 		best := 0
 		for i, st := range planned {
-			if st.LogNetP5 < planned[best].LogNetP5 ||
-				(st.LogNetP5 == planned[best].LogNetP5 && st.ID < planned[best].ID) {
+			b := planned[best]
+			if rank(st) != rank(b) {
+				if rank(st) < rank(b) {
+					best = i
+				}
+				continue
+			}
+			if st.LogNetP5 < b.LogNetP5 ||
+				(st.LogNetP5 == b.LogNetP5 && st.ID < b.ID) {
 				best = i
 			}
 		}

@@ -1,0 +1,158 @@
+package fleetd
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// nonQuarantinedRows strips quarantined networks out of a snapshot,
+// returning the rows every *other* network produced.
+func nonQuarantinedRows(s Snapshot) map[int]NetworkStatus {
+	out := make(map[int]NetworkStatus, len(s.Networks))
+	for _, st := range s.Networks {
+		if !st.Quarantined {
+			out[st.ID] = st
+		}
+	}
+	return out
+}
+
+// TestPanicQuarantineIsolation: injected pass panics must quarantine
+// exactly the panicking networks while every other network's state is
+// byte-for-byte what it would have been in a fault-free fleet — the
+// zero-collateral guarantee.
+func TestPanicQuarantineIsolation(t *testing.T) {
+	const networks = 40
+	mk := func(prof *faults.ProcProfile) *Controller {
+		cfg := testConfig(71)
+		cfg.Proc = prof
+		cfg.Obs = obs.NewRegistry()
+		c := New(cfg)
+		c.AddFleet(fleet.Generate(fleet.Options{Networks: networks, Seed: 71, MaxAPs: 4}))
+		c.Run(2 * sim.Hour)
+		return c
+	}
+
+	clean := mk(nil)
+	faulty := mk(&faults.ProcProfile{Seed: 71, PanicPass: 0.02})
+
+	if got := faulty.met.passPanics.Value(); got == 0 {
+		t.Fatal("panic profile never fired; isolation test is vacuous")
+	}
+	snap := faulty.Snapshot()
+	if snap.QuarantinedNets == 0 {
+		t.Fatal("panicking passes did not quarantine any network")
+	}
+	if snap.QuarantinedNets != int(faulty.met.quarantined.Value()) {
+		t.Fatalf("snapshot reports %d quarantined, counter says %d",
+			snap.QuarantinedNets, faulty.met.quarantined.Value())
+	}
+
+	// Every non-quarantined network matches the fault-free fleet exactly.
+	cleanRows := nonQuarantinedRows(clean.Snapshot())
+	for id, st := range nonQuarantinedRows(snap) {
+		if !reflect.DeepEqual(st, cleanRows[id]) {
+			t.Fatalf("network %d perturbed by another network's panic:\n got: %+v\nwant: %+v",
+				id, st, cleanRows[id])
+		}
+	}
+
+	// Quarantined networks stop consuming passes: run further and verify
+	// their pass counters froze.
+	frozen := map[int][numLevels]int{}
+	for _, st := range snap.Networks {
+		if st.Quarantined {
+			frozen[st.ID] = st.Passes
+		}
+	}
+	faulty.Run(2 * sim.Hour)
+	for _, st := range faulty.Snapshot().Networks {
+		if want, ok := frozen[st.ID]; ok && st.Passes != want {
+			t.Fatalf("quarantined network %d ran more passes: %v -> %v", st.ID, want, st.Passes)
+		}
+	}
+}
+
+// TestWatchdogCancelsStuckPass: a wedged pass blocks until the
+// wall-clock watchdog cancels its backend context; the network is
+// quarantined and the fleet keeps running.
+func TestWatchdogCancelsStuckPass(t *testing.T) {
+	cfg := testConfig(83)
+	cfg.PassDeadline = 50 * time.Millisecond
+	cfg.Proc = &faults.ProcProfile{Seed: 83, StuckPass: 0.01}
+	cfg.Obs = obs.NewRegistry()
+	c := New(cfg)
+	c.AddFleet(fleet.Generate(fleet.Options{Networks: 30, Seed: 83, MaxAPs: 4}))
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.Run(2 * sim.Hour)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("fleet wedged: watchdog did not cancel the stuck pass")
+	}
+
+	if c.met.watchdogCancels.Value() == 0 {
+		t.Fatal("stuck profile never engaged the watchdog; test is vacuous")
+	}
+	snap := c.Snapshot()
+	if snap.QuarantinedNets == 0 {
+		t.Fatal("watchdog-cancelled network was not quarantined")
+	}
+	// The rest of the fleet kept planning.
+	if snap.Passes[levelFast] == 0 {
+		t.Fatal("no passes ran at all; fleet did not survive the wedge")
+	}
+}
+
+// TestLagDegradationDemotesDeepPasses: ticks over the wall-clock budget
+// drop the fleet to i=0-only cadence; deep intent re-queues and runs
+// once the lag clears.
+func TestLagDegradationDemotesDeepPasses(t *testing.T) {
+	cfg := testConfig(29)
+	cfg.Mid = sim.Hour
+	cfg.LagBudget = 10 * time.Millisecond
+	cfg.Obs = obs.NewRegistry()
+	c := New(cfg)
+	c.AddFleet(fleet.Generate(fleet.Options{Networks: 8, Seed: 29, MaxAPs: 3}))
+
+	// A fake wall clock that reports every tick 10x over budget.
+	var wall time.Time
+	c.wallNow = func() time.Time {
+		wall = wall.Add(100 * time.Millisecond)
+		return wall
+	}
+	c.Run(90 * sim.Minute) // covers the 1h mid deadline while lagging
+
+	if c.met.lagDegraded.Value() == 0 {
+		t.Fatal("lag budget never tripped")
+	}
+	if c.met.degradedDemoted.Value() == 0 {
+		t.Fatal("no deep pass was demoted under lag")
+	}
+	snap := c.Snapshot()
+	if snap.Passes[levelMid] != 0 {
+		t.Fatalf("mid passes ran while lag-degraded: %d", snap.Passes[levelMid])
+	}
+
+	// Lag clears: ticks come back far under budget, the hysteresis lifts
+	// degradation, and the deferred deep intent executes — it was
+	// re-queued, never dropped.
+	c.wallNow = func() time.Time {
+		wall = wall.Add(time.Millisecond)
+		return wall
+	}
+	c.Run(90 * sim.Minute)
+	if got := c.Snapshot().Passes[levelMid]; got == 0 {
+		t.Fatal("demoted mid-level intent never executed after lag cleared")
+	}
+}

@@ -98,6 +98,20 @@ func NewService(cfg Config, env EnvironmentFn, apply ApplyFn, seed int64) *Servi
 	}
 }
 
+// SkipMemos returns a copy of the per-band dirty-skip memo table: the
+// input digest of each band's last executed fast-only no-op invocation.
+// The fleet durability layer folds these into checkpoints — the memos
+// are part of the controller state that must match between a recovered
+// process and its uncrashed twin, since a divergent memo would skip (or
+// run) a pass the twin runs (or skips).
+func (s *Service) SkipMemos() map[spectrum.Band]uint64 {
+	out := make(map[spectrum.Band]uint64, len(s.lastNoop))
+	for b, d := range s.lastNoop {
+		out[b] = d
+	}
+	return out
+}
+
 // Start registers the three cadences on the engine. Mid and Deep ticks
 // subsume the shallower passes (they end with i=0), mirroring the paper's
 // schedule composition.
