@@ -1,0 +1,72 @@
+// Command benchcheck sanity-checks the machine-readable benchmark
+// artifacts that `make bench-json` emits. Each argument names one JSON
+// file and the keys it must carry:
+//
+//	benchcheck BENCH_fastack.json:flows_1000_segments_per_sec,flows_1000_allocs_per_op
+//
+// The file must exist, parse as a flat JSON object, and hold a finite
+// number under every required key. The artifacts are non-gating on
+// absolute performance (a slow machine must not fail the build), but a
+// missing file, a vanished key, or a NaN/Inf smuggled through the
+// harness is a broken emitter, not a slow machine — those fail verify.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck FILE:key,key... [FILE:key,... ...]")
+		os.Exit(2)
+	}
+	failed := false
+	for _, arg := range os.Args[1:] {
+		file, keys, ok := strings.Cut(arg, ":")
+		if !ok || keys == "" {
+			fmt.Fprintf(os.Stderr, "benchcheck: malformed argument %q (want FILE:key,key...)\n", arg)
+			os.Exit(2)
+		}
+		if err := check(file, strings.Split(keys, ",")); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", file, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("benchcheck: %s ok (%d keys)\n", file, len(strings.Split(keys, ",")))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func check(file string, keys []string) error {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return err
+	}
+	var vals map[string]any
+	if err := json.Unmarshal(raw, &vals); err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	for _, k := range keys {
+		v, present := vals[k]
+		if !present {
+			return fmt.Errorf("missing key %q", k)
+		}
+		f, isNum := v.(float64)
+		if !isNum {
+			return fmt.Errorf("key %q is %T, want a number", k, v)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("key %q is %v", k, f)
+		}
+		if f < 0 {
+			return fmt.Errorf("key %q is negative (%v)", k, f)
+		}
+	}
+	return nil
+}

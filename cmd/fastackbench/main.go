@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "throughput", "one of: throughput, latency, aggregation, fairness, multiap, cwnd")
+	exp := flag.String("experiment", "throughput", "one of: throughput, latency, aggregation, fairness, multiap, cwnd, chaos, uplink")
 	clientsFlag := flag.String("clients", "5,10,15,20,25,30", "comma-separated client counts")
 	durFlag := flag.Duration("duration", 0, "simulated duration per run (default depends on experiment)")
 	seed := flag.Int64("seed", 1, "simulation seed")
@@ -93,6 +93,8 @@ func main() {
 		runCwnd(orDefault(dur, 8*sim.Second), *seed)
 	case "chaos":
 		runChaos(*seeds, orDefault(dur, 3*sim.Second), *seed)
+	case "uplink":
+		runUplink(counts, orDefault(dur, 8*sim.Second), *seed)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown experiment:", *exp)
 		os.Exit(2)
@@ -309,6 +311,49 @@ func runCwnd(dur sim.Time, seed int64) {
 				}
 			}
 			fmt.Printf("  flow%02d final=%4d max=%4d\n", i, last, max)
+		}
+	}
+}
+
+// runUplink reports the reverse-direction regimes: pure uplink (client is
+// the TCP sender) and bidirectional, baseline vs FastACK. The agent must
+// be pass-through here — the fast/dorm columns pin that it forged and
+// suppressed nothing while still tracking the reverse flows.
+func runUplink(counts []int, dur sim.Time, seed int64) {
+	fmt.Println("# uplink/reverse-direction: aggregate goodput (Mbps); agent must stay dormant")
+	fmt.Printf("%8s %14s %10s %10s %7s %6s %6s %6s\n",
+		"clients", "traffic", "baseline", "fastack", "ratio", "forged", "suppr", "flows")
+	for _, traffic := range []testbed.Traffic{testbed.TCPUplink, testbed.TCPBidirectional} {
+		name := "uplink"
+		if traffic == testbed.TCPBidirectional {
+			name = "bidirectional"
+		}
+		for _, n := range counts {
+			mut := func(o *testbed.Options) { o.Traffic = traffic }
+			up := func(tb *testbed.Testbed) float64 {
+				total := 0.0
+				for _, c := range tb.Clients {
+					total += c.UplinkGoodputMbps(dur)
+				}
+				return total
+			}
+			base := up(run(testbed.Baseline, n, dur, seed, mut))
+			tb := run(testbed.FastACK, n, dur, seed, mut)
+			fast := up(tb)
+			var st fastack.Stats
+			for _, s := range tb.AgentStatsPerAP() {
+				st.FastAcksSent += s.FastAcksSent
+				st.ClientAcksDropped += s.ClientAcksDropped
+				st.FlowsTracked += s.FlowsTracked
+			}
+			forged, suppressed := st.FastAcksSent, st.ClientAcksDropped
+			if traffic == testbed.TCPBidirectional {
+				// The download direction legitimately fast-acks; only the
+				// pure-uplink rows must read zero.
+				forged, suppressed = 0, 0
+			}
+			fmt.Printf("%8d %14s %10.1f %10.1f %7.3f %6d %6d %6d\n",
+				n, name, base, fast, fast/base, forged, suppressed, st.FlowsTracked)
 		}
 	}
 }

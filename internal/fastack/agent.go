@@ -10,6 +10,11 @@
 // returns dispositions (forward / drop / elevate) plus any packets to
 // inject toward the sender or the client. The testbed package wires it
 // between the wired port and the MAC layer of an AP.
+//
+// The hot path is allocation-free in steady state: cache entries and
+// generated ACKs come from a per-agent datagram pool, per-flow queues are
+// ring buffers, and Disposition inject slices are scratch buffers owned by
+// the agent (see Disposition for the lifetime contract).
 package fastack
 
 import (
@@ -22,6 +27,13 @@ type Config struct {
 	// CacheLimitBytes bounds the per-flow retransmission cache. Zero
 	// means the default of 4 MiB (a full receive window).
 	CacheLimitBytes int
+	// SharedCacheBudgetBytes bounds the retransmission-cache bytes summed
+	// across every flow the agent tracks. When an insert pushes the total
+	// over, least-recently-inserted flows yield their oldest non-vouched
+	// segments (see budget.go); if every remaining byte is vouched the
+	// inserting flow trips the cache_thrash guard. Zero means the default
+	// of 64 MiB; negative disables the cross-flow bound.
+	SharedCacheBudgetBytes int
 	// DupAckThreshold is how many duplicate client ACKs trigger a local
 	// retransmission. The classic value is 3; FastACK can afford 2
 	// because the AP knows link-layer delivery state.
@@ -69,12 +81,13 @@ type Config struct {
 // DefaultConfig returns the production-like defaults.
 func DefaultConfig() Config {
 	return Config{
-		CacheLimitBytes: 4 << 20,
-		DupAckThreshold: 2,
-		RtxGuard:        15 * sim.Millisecond,
-		MarkAllFlows:    true,
-		MinFlowBytes:    64 << 10,
-		IdleExpiry:      5 * sim.Minute,
+		CacheLimitBytes:        4 << 20,
+		SharedCacheBudgetBytes: 64 << 20,
+		DupAckThreshold:        2,
+		RtxGuard:               15 * sim.Millisecond,
+		MarkAllFlows:           true,
+		MinFlowBytes:           64 << 10,
+		IdleExpiry:             5 * sim.Minute,
 	}
 }
 
@@ -95,6 +108,10 @@ type Stats struct {
 	WindowUpdates     int64
 	FlowsTracked      int64
 
+	// Cross-flow cache budget activity (budget.go).
+	SharedCacheEvictions int64 // segments reclaimed from LRU flows by the shared budget
+	SharedBudgetOverruns int64 // inserts that left the budget overrun (all evictable bytes vouched)
+
 	// Safety guard activity (guard.go).
 	GuardSuspects       int64
 	GuardBypasses       int64
@@ -104,6 +121,13 @@ type Stats struct {
 
 // Disposition tells the AP datapath what to do with a packet and what to
 // inject.
+//
+// Lifetime contract: ToSender and ToClient are scratch slices owned by the
+// agent, valid only until the next Handle* call on the same agent — the
+// datapath must consume (enqueue or forward) them before re-entering the
+// agent. The pointed-to datagrams themselves are caller-owned from this
+// moment; a caller that fully relinquishes one may hand it back via
+// Recycle.
 type Disposition struct {
 	// Forward: pass the packet along its normal path.
 	Forward bool
@@ -120,6 +144,14 @@ type Disposition struct {
 
 var forwardOnly = Disposition{Forward: true}
 
+// SegFate reports the link-layer fate of one downlink data packet for
+// batched feedback processing: the 802.11 block ACK covered it (OK) or the
+// MAC dropped it after exhausting retries.
+type SegFate struct {
+	Dgram *packet.Datagram
+	OK    bool
+}
+
 // Agent is one AP's FastACK engine. It is single-goroutine like the Click
 // datapath it models; the owning simulator serialises calls.
 type Agent struct {
@@ -128,6 +160,18 @@ type Agent struct {
 	flows      map[packet.Flow]*flowState
 	stats      Stats
 	violations []string
+
+	// bud carries the cross-flow shared state: cache budget, LRU eviction
+	// order, datagram pool, running debt counters.
+	bud *cacheBudget
+
+	// Scratch backing for Disposition inject slices, reset at each entry
+	// point (see the Disposition lifetime contract).
+	sndScratch []*packet.Datagram
+	cliScratch []*packet.Datagram
+	// batch collects the distinct flows touched by one
+	// HandleWirelessAckBatch invocation.
+	batch []*flowState
 }
 
 // New creates an agent. now supplies the current simulation time (used for
@@ -135,6 +179,9 @@ type Agent struct {
 func New(cfg Config, now func() sim.Time) *Agent {
 	if cfg.CacheLimitBytes == 0 {
 		cfg.CacheLimitBytes = 4 << 20
+	}
+	if cfg.SharedCacheBudgetBytes == 0 {
+		cfg.SharedCacheBudgetBytes = 64 << 20
 	}
 	if cfg.DupAckThreshold == 0 {
 		cfg.DupAckThreshold = 2
@@ -149,7 +196,15 @@ func New(cfg Config, now func() sim.Time) *Agent {
 	if now == nil {
 		now = func() sim.Time { return 0 }
 	}
-	return &Agent{cfg: cfg, now: now, flows: map[packet.Flow]*flowState{}}
+	limit := cfg.SharedCacheBudgetBytes
+	if limit < 0 {
+		limit = 0 // negative disables the cross-flow bound
+	}
+	return &Agent{
+		cfg: cfg, now: now,
+		flows: map[packet.Flow]*flowState{},
+		bud:   &cacheBudget{limit: limit},
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -158,9 +213,22 @@ func (a *Agent) Stats() Stats { return a.stats }
 // FlowCount returns the number of tracked flows.
 func (a *Agent) FlowCount() int { return len(a.flows) }
 
-// DebtBytes sums the fast-ACK debt [seq_TCP, seq_fack) across every
-// tracked flow.
-func (a *Agent) DebtBytes() int64 {
+// SharedCacheBytes returns the retransmission-cache bytes held across
+// every tracked flow — the quantity bounded by SharedCacheBudgetBytes.
+func (a *Agent) SharedCacheBytes() int { return a.bud.used }
+
+// DebtBytes returns the fast-ACK debt [seq_TCP, seq_fack) summed across
+// every tracked flow. O(1): maintained as a running counter at flow state
+// transitions (accountFlow), not by scanning the flow table.
+func (a *Agent) DebtBytes() int64 { return a.bud.debtTotal }
+
+// UndrainedBypassedFlows counts flows sitting in Bypass or Draining that
+// still carry debt — after a drain window, a healthy agent reads zero.
+// O(1), like DebtBytes.
+func (a *Agent) UndrainedBypassedFlows() int { return a.bud.undrained }
+
+// debtBytesScan recomputes DebtBytes by full scan (equivalence tests).
+func (a *Agent) debtBytesScan() int64 {
 	var n int64
 	for _, f := range a.flows {
 		n += int64(f.debtBytes())
@@ -168,9 +236,8 @@ func (a *Agent) DebtBytes() int64 {
 	return n
 }
 
-// UndrainedBypassedFlows counts flows sitting in Bypass or Draining that
-// still carry debt — after a drain window, a healthy agent reads zero.
-func (a *Agent) UndrainedBypassedFlows() int {
+// undrainedScan recomputes UndrainedBypassedFlows by full scan.
+func (a *Agent) undrainedScan() int {
 	n := 0
 	for _, f := range a.flows {
 		if (f.gstate == GuardBypass || f.gstate == GuardDraining) && f.debtBytes() > 0 {
@@ -180,11 +247,92 @@ func (a *Agent) UndrainedBypassedFlows() int {
 	return n
 }
 
+// sharedCacheScan recomputes SharedCacheBytes by full scan.
+func (a *Agent) sharedCacheScan() int {
+	n := 0
+	for _, f := range a.flows {
+		n += f.cacheBytes
+	}
+	return n
+}
+
+// accountFlow folds a flow's debt and undrained status into the running
+// agent-wide counters. Called after every mutation that can move
+// seq_TCP/seq_fack or the guard state; idempotent.
+func (a *Agent) accountFlow(f *flowState) {
+	d := int64(f.debtBytes())
+	if d != f.acctDebt {
+		a.bud.debtTotal += d - f.acctDebt
+		f.acctDebt = d
+	}
+	und := (f.gstate == GuardBypass || f.gstate == GuardDraining) && d > 0
+	if und != f.acctUndrained {
+		if und {
+			a.bud.undrained++
+		} else {
+			a.bud.undrained--
+		}
+		f.acctUndrained = und
+	}
+}
+
+// finishFlow closes out a handler's work on a flow: running counters, then
+// structural invariants.
+func (a *Agent) finishFlow(f *flowState) {
+	a.accountFlow(f)
+	a.checkFlow(f)
+}
+
+// removeFlow releases a flow's cache to the shared accounting and pool,
+// unwinds its running-counter contributions, and deletes it.
+func (a *Agent) removeFlow(key packet.Flow, f *flowState) {
+	f.releaseCache()
+	a.bud.lruRemove(f)
+	f.cache.Drop()
+	f.qSeq.Drop()
+	if f.acctDebt != 0 {
+		a.bud.debtTotal -= f.acctDebt
+		f.acctDebt = 0
+	}
+	if f.acctUndrained {
+		a.bud.undrained--
+		f.acctUndrained = false
+	}
+	delete(a.flows, key)
+}
+
+// begin resets the scratch inject slices at an agent entry point.
+func (a *Agent) begin() {
+	a.sndScratch = a.sndScratch[:0]
+	a.cliScratch = a.cliScratch[:0]
+}
+
+func (a *Agent) emitSender(disp *Disposition, d *packet.Datagram) {
+	a.sndScratch = append(a.sndScratch, d)
+	disp.ToSender = a.sndScratch
+}
+
+func (a *Agent) emitClient(disp *Disposition, d *packet.Datagram) {
+	a.cliScratch = append(a.cliScratch, d)
+	disp.ToClient = a.cliScratch
+}
+
+// clone makes a pooled deep copy of a datagram for injection.
+func (a *Agent) clone(d *packet.Datagram) *packet.Datagram { return a.bud.pool.clone(d) }
+
+// Recycle returns a datagram the caller has finished with to the agent's
+// pool. Only datagrams the agent handed out (fast ACKs, hole dup-ACKs,
+// window updates, retransmit clones) may be recycled, and only once the
+// caller holds no further reference. Callers that never recycle are
+// correct too — unreturned datagrams are simply garbage collected.
+func (a *Agent) Recycle(d *packet.Datagram) { a.bud.pool.put(d) }
+
 // flowFor returns (creating if needed) state for the downlink flow key.
 func (a *Agent) flowFor(key packet.Flow) *flowState {
 	f, ok := a.flows[key]
 	if !ok {
-		f = &flowState{flow: key, senderWScale: -1, clientWScale: -1}
+		f = &flowState{flow: key, senderWScale: -1, clientWScale: -1, bud: a.bud,
+			vouchNeedsCache: !a.cfg.DisableCache}
 		a.flows[key] = f
 		a.stats.FlowsTracked++
 	}
@@ -197,6 +345,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 	if d.TCP == nil {
 		return forwardOnly
 	}
+	a.begin()
 	t := d.TCP
 	key := d.Flow()
 
@@ -212,6 +361,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		}
 		f.resetForNewConnection()
 		f.initAt(t.Seq + 1)
+		a.accountFlow(f)
 		return forwardOnly
 	}
 	if t.HasFlag(packet.FlagRST) {
@@ -224,7 +374,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 				// DrainExpiry reap the state if the connection really died.
 				a.guardTrip(f, GuardReasonRST)
 			} else {
-				delete(a.flows, key)
+				a.removeFlow(key, f)
 			}
 		}
 		return forwardOnly
@@ -235,6 +385,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 
 	f := a.flowFor(key)
 	f.lastFastAckAt = a.now()
+	f.sawData = true
 
 	// Flow selection (footnote 10): below the promotion threshold the
 	// packet passes through untouched and no state machine runs. The
@@ -244,6 +395,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		f.bytesSeen += int64(d.PayloadLen)
 		if f.bytesSeen < int64(a.cfg.MinFlowBytes) {
 			f.initAt(t.Seq + uint32(d.PayloadLen)) // track the frontier
+			a.accountFlow(f)
 			return forwardOnly
 		}
 		f.promoted = true
@@ -276,8 +428,8 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		a.stats.SpuriousDrops++
 		a.stats.SpuriousReacks++
 		reack := Disposition{Forward: false}
-		reack.ToSender = append(reack.ToSender, a.buildAck(f, f.seqFack))
-		a.checkFlow(f)
+		a.emitSender(&reack, a.buildAck(f, f.seqFack))
+		a.finishFlow(f)
 		return reack
 
 	case seqLT(seqIn, f.seqExp):
@@ -287,7 +439,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		a.stats.ElevatedForwards++
 		disp.Elevate = true
 		a.cacheInsert(f, d)
-		a.checkFlow(f)
+		a.finishFlow(f)
 		return disp
 
 	case seqIn == f.seqExp:
@@ -297,7 +449,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 		if seqLT(f.seqHigh, end) {
 			f.seqHigh = end
 		}
-		a.checkFlow(f)
+		a.finishFlow(f)
 		return disp
 
 	default:
@@ -310,7 +462,7 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 			// Forward the packet untouched — adopting the garbage sequence
 			// into the holes vector or the cache would corrupt the flow.
 			a.guardSoftAnomaly(f, GuardReasonSeqJump)
-			a.checkFlow(f)
+			a.finishFlow(f)
 			return forwardOnly
 		}
 		a.stats.HolesDetected++
@@ -323,9 +475,9 @@ func (a *Agent) HandleDownlink(d *packet.Datagram) Disposition {
 			dup.TCP.SACK = append(dup.TCP.SACK, packet.SACKBlock{Left: seqIn, Right: end})
 		}
 		a.stats.HoleDupAcksSent++
-		disp.ToSender = append(disp.ToSender, dup)
+		a.emitSender(&disp, dup)
 		a.cacheInsert(f, d)
-		a.checkFlow(f)
+		a.finishFlow(f)
 		return disp
 	}
 }
@@ -337,6 +489,21 @@ func (a *Agent) cacheInsert(f *flowState, d *packet.Datagram) {
 	if ev := f.cacheInsert(d, a.cfg.CacheLimitBytes); ev > 0 {
 		a.stats.CacheEvictions++
 		obsm.cacheEvictions.Inc()
+	}
+	if ev, overrun := a.bud.reclaim(f); ev > 0 || overrun {
+		if ev > 0 {
+			a.stats.SharedCacheEvictions += int64(ev)
+			obsm.sharedEvictions.Add(int64(ev))
+		}
+		if overrun {
+			// Every byte the budget could reclaim across all flows is
+			// vouched debt: the shared cache is thrashing. Trip the
+			// inserting flow — bypassing it trims its cache to exactly its
+			// debt and stops it growing the pressure.
+			a.stats.SharedBudgetOverruns++
+			obsm.sharedOverruns.Inc()
+			f.evictBlocked = true
+		}
 	}
 	if f.evictBlocked {
 		// The limit wanted to evict vouched-for bytes: the cache is
@@ -352,36 +519,76 @@ func (a *Agent) cacheInsert(f *flowState, d *packet.Datagram) {
 // ok=true when the block ACK covered it (the 802.11 ACK of §5.2), ok=false
 // when the MAC dropped it after exhausting retries.
 func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
-	if d.TCP == nil || d.PayloadLen == 0 {
-		return Disposition{}
+	a.begin()
+	var disp Disposition
+	if f := a.feedbackEvent(d, ok, &disp); f != nil {
+		a.drainFastAck(f, &disp)
+		a.finishFlow(f)
+	}
+	return disp
+}
+
+// HandleWirelessAckBatch processes one wireless feedback event covering
+// many segments — a block ACK spanning an A-MPDU, or a transmit-completion
+// batch spanning flows — in one agent entry. Per-segment bookkeeping is
+// identical to calling HandleWirelessAck per segment; the difference is
+// that each touched flow drains its contiguous run once at the end, so a
+// flow whose segments were interleaved in the batch emits one coalesced
+// fast ACK instead of one per re-entry. Cache re-drives for MAC-dropped
+// segments are emitted inline, in batch order.
+func (a *Agent) HandleWirelessAckBatch(evs []SegFate) Disposition {
+	a.begin()
+	var disp Disposition
+	for i := range evs {
+		if f := a.feedbackEvent(evs[i].Dgram, evs[i].OK, &disp); f != nil && !f.inBatch {
+			f.inBatch = true
+			a.batch = append(a.batch, f)
+		}
+	}
+	for _, f := range a.batch {
+		f.inBatch = false
+		if f.gstate < GuardBypass { // guard may have tripped later in the batch
+			a.drainFastAck(f, &disp)
+		}
+		a.finishFlow(f)
+	}
+	a.batch = a.batch[:0]
+	return disp
+}
+
+// feedbackEvent applies one segment's link-layer fate: guard ticks, cache
+// re-drives for MAC drops (into disp), wild-feedback rejection, and the
+// q_seq enqueue. It returns the flow when a drain pass is still owed, nil
+// when the event was fully handled.
+func (a *Agent) feedbackEvent(d *packet.Datagram, ok bool, disp *Disposition) *flowState {
+	if d == nil || d.TCP == nil || d.PayloadLen == 0 {
+		return nil
 	}
 	f, tracked := a.flows[d.Flow()]
-	if !tracked || !f.initialized {
-		return Disposition{}
+	if !tracked || !f.initialized || !f.sawData {
+		return nil
 	}
 	if !a.cfg.MarkAllFlows && !f.promoted {
-		return Disposition{} // not fast-acked yet (footnote 10 gating)
+		return nil // not fast-acked yet (footnote 10 gating)
 	}
 	if f.gstate >= GuardBypass {
 		// No fast ACKs are generated in bypass. A MAC drop inside the debt
 		// range is still the agent's to repair.
-		var disp Disposition
 		if !ok && f.gstate != GuardPassThrough && seqLT(d.TCP.Seq, f.seqFack) {
 			if cached := f.cacheLookup(d.TCP.Seq); cached != nil {
 				obsm.cacheHits.Inc()
 				a.stats.WirelessRedrives++
-				disp.ToClient = append(disp.ToClient, cached.Clone())
+				a.emitClient(disp, a.clone(cached))
 			} else {
 				obsm.cacheMisses.Inc()
 			}
 		}
-		return disp
+		return nil
 	}
 	a.guardTick(f)
 	if f.gstate >= GuardBypass {
-		return Disposition{}
+		return nil
 	}
-	var disp Disposition
 	if !ok {
 		// The MAC gave up on this MPDU. Re-drive it from the cache so the
 		// transfer continues without waiting for the sender's RTO; if the
@@ -390,11 +597,11 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 		if cached := f.cacheLookup(d.TCP.Seq); cached != nil {
 			obsm.cacheHits.Inc()
 			a.stats.WirelessRedrives++
-			disp.ToClient = append(disp.ToClient, cached.Clone())
+			a.emitClient(disp, a.clone(cached))
 		} else {
 			obsm.cacheMisses.Inc()
 		}
-		return disp
+		return nil
 	}
 
 	if end := d.TCP.Seq + uint32(d.PayloadLen); seqLT(f.seqExp, end) {
@@ -403,10 +610,16 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 		// stale feedback from a prior connection). Folding it in would
 		// fast-ACK data the agent does not hold.
 		a.guardSoftAnomaly(f, GuardReasonWildAck)
-		a.checkFlow(f)
-		return disp
+		a.finishFlow(f)
+		return nil
 	}
 	f.enqueueAcked(d.TCP.Seq, d.PayloadLen)
+	return f
+}
+
+// drainFastAck advances the fast-ack point over the contiguous q_seq run
+// and emits one coalesced cumulative fast ACK if it moved.
+func (a *Agent) drainFastAck(f *flowState, disp *Disposition) {
 	fackBefore := f.seqFack
 	if newFack, segs := f.drainContiguous(); segs > 0 {
 		// One cumulative fast ACK covers the whole contiguous run (the
@@ -418,10 +631,8 @@ func (a *Agent) HandleWirelessAck(d *packet.Datagram, ok bool) Disposition {
 		obsm.ampduBytes.Observe(int64(newFack - fackBefore))
 		obsm.ampduSegs.Observe(int64(segs))
 		f.lastFastAckAt = a.now()
-		disp.ToSender = append(disp.ToSender, fa)
+		a.emitSender(disp, fa)
 	}
-	a.checkFlow(f)
-	return disp
 }
 
 // HandleUplink processes a packet travelling wireless -> wired (client to
@@ -431,6 +642,7 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 	if d.TCP == nil {
 		return forwardOnly
 	}
+	a.begin()
 	t := d.TCP
 	// The downlink flow key is the reverse of this packet's flow.
 	key := d.Flow().Reverse()
@@ -449,6 +661,21 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 		return forwardOnly
 	}
 	if !tracked || !f.initialized || t.HasFlag(packet.FlagRST) || t.HasFlag(packet.FlagFIN) || d.PayloadLen > 0 {
+		return forwardOnly
+	}
+	if !f.sawData {
+		// This connection incarnation has carried no downlink payload —
+		// the reverse direction of an uplink-dominant transfer. The agent
+		// never vouched for anything, so the client's ACK stream must
+		// reach the sender untouched: suppressing it would strangle the
+		// client's own upload. Window advertisements are still learned
+		// passively so the first fast ACK after data does appear clamps
+		// against fresh knowledge.
+		if wscale := f.clientWScale; wscale >= 0 {
+			f.clientWindow = int(t.Window) << wscale
+		} else {
+			f.clientWindow = int(t.Window)
+		}
 		return forwardOnly
 	}
 	if !a.cfg.MarkAllFlows && !f.promoted {
@@ -480,7 +707,7 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 		// header corruption. Forward it untouched — folding it into
 		// seq_TCP would poison the window and debt accounting.
 		a.guardSoftAnomaly(f, GuardReasonWildAck)
-		a.checkFlow(f)
+		a.finishFlow(f)
 		return forwardOnly
 	}
 	var disp Disposition // suppress by default (Forward=false)
@@ -507,7 +734,7 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 			up := a.buildAck(f, f.seqFack)
 			a.stats.WindowUpdates++
 			obsm.windowUpdates.Inc()
-			disp.ToSender = append(disp.ToSender, up)
+			a.emitSender(&disp, up)
 		}
 
 	case ack == f.lastClientAck:
@@ -528,9 +755,8 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 				if ack != f.lastRtxSeq || now-f.lastRtxAt >= a.cfg.RtxGuard {
 					f.lastRtxSeq = ack
 					f.lastRtxAt = now
-					rtx := a.retransmitFromCache(f, ack, t.SACK)
-					disp.ToClient = append(disp.ToClient, rtx...)
-					a.guardNoteRetransmits(f, len(rtx))
+					n := a.retransmitFromCache(&disp, f, ack, t.SACK)
+					a.guardNoteRetransmits(f, n)
 				}
 			}
 		}
@@ -562,40 +788,47 @@ func (a *Agent) HandleUplink(d *packet.Datagram) Disposition {
 			a.stats.FeedbackHeals++
 		}
 	}
-	a.checkFlow(f)
+	a.finishFlow(f)
 	return disp
 }
 
-// retransmitFromCache returns clones of cached segments the client is
-// missing: the segment at ack, plus any holes implied by SACK blocks,
-// bounded per invocation so one duplicate ACK cannot flood the air.
-func (a *Agent) retransmitFromCache(f *flowState, ack uint32, sack []packet.SACKBlock) []*packet.Datagram {
+// retransmitFromCache appends clones of cached segments the client is
+// missing to disp.ToClient: the segment at ack, plus any holes implied by
+// SACK blocks, bounded per invocation so one duplicate ACK cannot flood
+// the air. Returns how many segments were queued.
+func (a *Agent) retransmitFromCache(disp *Disposition, f *flowState, ack uint32, sack []packet.SACKBlock) int {
 	const maxPerEvent = 16
-	var out []*packet.Datagram
+	queued := 0
 	if d := f.cacheLookup(ack); d != nil {
 		obsm.cacheHits.Inc()
 		a.stats.LocalRetransmits++
 		obsm.localRetransmits.Inc()
-		out = append(out, d.Clone())
+		a.emitClient(disp, a.clone(d))
+		queued++
 	} else {
 		obsm.cacheMisses.Inc()
 	}
 	// SACK-based: retransmit cached data between ack and the lowest SACK
 	// edge that is not covered by any block.
 	for _, blk := range sack {
-		for _, d := range f.cacheRange(ack, blk.Left) {
-			if len(out) >= maxPerEvent {
-				return out
+		for i := 0; i < f.cache.Len(); i++ {
+			c := f.cache.At(i)
+			if !(seqLT(c.seq, blk.Left) && seqLT(ack, c.end)) {
+				continue
 			}
-			if covered(d.TCP.Seq, sack) || d.TCP.Seq == ack {
+			if queued >= maxPerEvent {
+				return queued
+			}
+			if covered(c.seq, sack) || c.seq == ack {
 				continue
 			}
 			a.stats.LocalRetransmits++
 			obsm.localRetransmits.Inc()
-			out = append(out, d.Clone())
+			a.emitClient(disp, a.clone(c.dgram))
+			queued++
 		}
 	}
-	return out
+	return queued
 }
 
 func covered(seq uint32, sack []packet.SACKBlock) bool {
@@ -608,11 +841,16 @@ func covered(seq uint32, sack []packet.SACKBlock) bool {
 }
 
 // buildAck constructs a TCP ACK from the client toward the sender with the
-// clamped advertised window rx'_win = rx_win − out_bytes.
+// clamped advertised window rx'_win = rx_win − out_bytes. The datagram
+// comes from the agent's pool; field-for-field it matches what
+// packet.NewTCPDatagram would build.
 func (a *Agent) buildAck(f *flowState, ackNo uint32) *packet.Datagram {
 	// The generated packet impersonates the client: source is the
 	// downlink flow's destination.
-	d := packet.NewTCPDatagram(f.flow.Dst, f.flow.Src, 0)
+	d := a.bud.pool.get()
+	d.IP = packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: f.flow.Dst.Addr, Dst: f.flow.Src.Addr}
+	d.TCP.SrcPort = f.flow.Dst.Port
+	d.TCP.DstPort = f.flow.Src.Port
 	d.TCP.Ack = ackNo
 	d.TCP.Flags = packet.FlagACK
 	wscale := f.clientWScale
@@ -659,7 +897,7 @@ func (a *Agent) Sweep() int {
 				continue
 			}
 		}
-		delete(a.flows, key)
+		a.removeFlow(key, f)
 		removed++
 	}
 	return removed
@@ -679,7 +917,11 @@ type ExportedFlow struct {
 	ClientWindow int
 	ClientWScale int
 	ClientSACKOK bool
-	Cache        []*packet.Datagram
+	// SawData records whether the incarnation carried downlink payload: a
+	// flow tracked only through its handshake (the reverse direction of an
+	// uplink transfer) must stay dormant on the roam-to AP too.
+	SawData bool
+	Cache   []*packet.Datagram
 	// Guard state travels with the flow: a bypassed flow keeps draining on
 	// the roam-to AP instead of being resurrected into full FastACK.
 	Guard        GuardState
@@ -688,9 +930,15 @@ type ExportedFlow struct {
 }
 
 // Drop removes a flow's state (after exporting it to a roam-to AP).
-func (a *Agent) Drop(key packet.Flow) { delete(a.flows, key) }
+func (a *Agent) Drop(key packet.Flow) {
+	if f, ok := a.flows[key]; ok {
+		a.removeFlow(key, f)
+	}
+}
 
-// Export returns the state for a flow, or false if untracked.
+// Export returns the state for a flow, or false if untracked. The cache
+// copies are plain heap clones — they cross agents, so they must not
+// alias this agent's pool.
 func (a *Agent) Export(key packet.Flow) (ExportedFlow, bool) {
 	f, ok := a.flows[key]
 	if !ok {
@@ -700,11 +948,11 @@ func (a *Agent) Export(key packet.Flow) (ExportedFlow, bool) {
 		Flow: key, SeqHigh: f.seqHigh, SeqExp: f.seqExp,
 		SeqFack: f.seqFack, SeqTCP: f.seqTCP,
 		ClientWindow: f.clientWindow, ClientWScale: f.clientWScale,
-		ClientSACKOK: f.clientSACKOK,
-		Guard:        f.gstate, BypassAt: f.bypassAt, DebtAtBypass: f.debtAtBypass,
+		ClientSACKOK: f.clientSACKOK, SawData: f.sawData,
+		Guard: f.gstate, BypassAt: f.bypassAt, DebtAtBypass: f.debtAtBypass,
 	}
-	for _, c := range f.cache {
-		ex.Cache = append(ex.Cache, c.dgram.Clone())
+	for i := 0; i < f.cache.Len(); i++ {
+		ex.Cache = append(ex.Cache, f.cache.At(i).dgram.Clone())
 	}
 	return ex, true
 }
@@ -719,6 +967,7 @@ func (a *Agent) Export(key packet.Flow) (ExportedFlow, bool) {
 func (a *Agent) Import(ex ExportedFlow) *packet.Datagram {
 	f := a.flowFor(ex.Flow)
 	f.initialized = true
+	f.sawData = ex.SawData
 	f.seqHigh = ex.SeqHigh
 	f.seqExp = ex.SeqExp
 	f.seqFack = ex.SeqFack
@@ -738,7 +987,14 @@ func (a *Agent) Import(ex ExportedFlow) *packet.Datagram {
 	for _, d := range ex.Cache {
 		f.cacheInsert(d, a.cfg.CacheLimitBytes)
 	}
-	if f.gstate >= GuardBypass {
+	if ev, _ := a.bud.reclaim(f); ev > 0 {
+		a.stats.SharedCacheEvictions += int64(ev)
+		obsm.sharedEvictions.Add(int64(ev))
+	}
+	a.accountFlow(f)
+	if f.gstate >= GuardBypass || !ex.SawData {
+		// A bypassed flow no longer impersonates the client; a dormant
+		// (never-saw-data) flow never started. Neither gets a resync ACK.
 		a.checkFlow(f)
 		return nil
 	}

@@ -79,8 +79,8 @@ func TestCaseIIIInOrderData(t *testing.T) {
 	if f.seqExp != 4000 || f.seqHigh != 4000 {
 		t.Fatalf("seqExp=%d seqHigh=%d, want 4000", f.seqExp, f.seqHigh)
 	}
-	if len(f.cache) != 3 {
-		t.Fatalf("cache has %d segments", len(f.cache))
+	if f.cache.Len() != 3 {
+		t.Fatalf("cache has %d segments", f.cache.Len())
 	}
 }
 
@@ -219,8 +219,8 @@ func TestClientAckSuppression(t *testing.T) {
 	}
 	// Cache purged up to the acknowledged point.
 	f := h.a.flows[d0.Flow()]
-	if len(f.cache) != 0 {
-		t.Fatalf("cache not purged: %d entries", len(f.cache))
+	if f.cache.Len() != 0 {
+		t.Fatalf("cache not purged: %d entries", f.cache.Len())
 	}
 	if f.seqTCP != 2000 {
 		t.Fatalf("seqTCP = %d", f.seqTCP)
@@ -370,7 +370,7 @@ func TestWirelessDropRedrive(t *testing.T) {
 		t.Fatalf("stats: %+v", h.a.Stats())
 	}
 	// The redrive is a clone, not the cached packet itself.
-	if disp.ToClient[0] == h.a.flows[d0.Flow()].cache[0].dgram {
+	if disp.ToClient[0] == h.a.flows[d0.Flow()].cache.At(0).dgram {
 		t.Fatal("redrive aliases the cache")
 	}
 }
@@ -395,7 +395,7 @@ func TestRoamingExportImport(t *testing.T) {
 	h2 := newHarness(DefaultConfig())
 	h2.a.Import(ex)
 	f := h2.a.flows[d0.Flow()]
-	if f.seqFack != 2000 || len(f.cache) != 2 {
+	if f.seqFack != 2000 || f.cache.Len() != 2 {
 		t.Fatalf("imported: %v", f)
 	}
 	if h2.a.flows[d0.Flow()].cacheLookup(2000) == nil {

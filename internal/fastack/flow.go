@@ -47,15 +47,47 @@ type flowState struct {
 	seqFack uint32
 	seqTCP  uint32
 
-	qSeq []ackedSeg // sorted by seq, disjoint
+	qSeq ring[ackedSeg] // sorted by seq, disjoint
 
 	// above records byte ranges received from the sender beyond seqExp
 	// (the holes vector complement: the data we *do* have above a hole).
 	above []packet.SACKBlock
 
 	// cache is the local retransmission cache, ordered by seq.
-	cache      []cachedSeg
+	cache      ring[cachedSeg]
 	cacheBytes int
+
+	// bud is the owning agent's shared cache budget / pool; nil for a
+	// standalone flowState (unit tests), in which case every cache method
+	// degrades to plain per-flow behavior with heap clones.
+	bud              *cacheBudget
+	lruPrev, lruNext *flowState // intrusive links in bud's eviction order
+	inLRU            bool
+
+	// Running-counter shadows (see Agent.accountFlow): the values last
+	// folded into bud.debtTotal / bud.undrained for this flow.
+	acctDebt      int64
+	acctUndrained bool
+
+	// inBatch marks the flow as already collected by the current
+	// HandleWirelessAckBatch invocation.
+	inBatch bool
+
+	// vouchNeedsCache (set by the agent unless DisableCache) refuses to
+	// advance the fast-ack point over a segment whose cache entry is gone:
+	// an entry evicted by cache pressure *before* its 802.11 feedback
+	// arrived must never be vouched for afterward, because the agent could
+	// not repair it. The drain stalls at the evicted segment instead; the
+	// debt-stall detector then degrades the flow into bypass, which is
+	// safe. Standalone flowState unit tests leave it false.
+	vouchNeedsCache bool
+
+	// sawData records whether this connection incarnation has carried
+	// downlink payload. A flow tracked only through its handshake — e.g.
+	// the ACK-only downlink direction of an uplink-dominant transfer —
+	// must never be fast-ACK-managed: there is nothing to vouch for, and
+	// suppressing the client's real ACKs would strangle its upload.
+	sawData bool
 
 	// Client-side knowledge for window rewriting (§5.5.2).
 	clientWindow      int // last advertised rx_win in bytes (unscaled)
@@ -95,7 +127,7 @@ type flowState struct {
 
 func (f *flowState) String() string {
 	return fmt.Sprintf("flow %v %s exp=%d fack=%d tcp=%d high=%d q=%d cache=%d",
-		f.flow, f.gstate, f.seqExp, f.seqFack, f.seqTCP, f.seqHigh, len(f.qSeq), len(f.cache))
+		f.flow, f.gstate, f.seqExp, f.seqFack, f.seqTCP, f.seqHigh, f.qSeq.Len(), f.cache.Len())
 }
 
 // debtBytes is the fast-ACK debt [seq_TCP, seq_fack): bytes already
@@ -114,10 +146,10 @@ func (f *flowState) debtBytes() int {
 // verdicts when a fresh SYN reuses the 5-tuple. Sequence pointers are
 // re-seeded by the caller via initAt.
 func (f *flowState) resetForNewConnection() {
-	f.qSeq = nil
+	f.qSeq.Reset()
 	f.above = nil
-	f.cache = nil
-	f.cacheBytes = 0
+	f.releaseCache()
+	f.sawData = false
 	f.dupAcksFromClient = 0
 	f.zeroWindowSent = false
 	f.gstate = GuardActive
@@ -165,17 +197,34 @@ func (f *flowState) advertisedWindow(queueBudget int) int {
 	return w
 }
 
+// qSeqSearch returns the first q_seq index whose seq is >= seq.
+func (f *flowState) qSeqSearch(seq uint32) int {
+	lo, hi := 0, f.qSeq.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seqLT(f.qSeq.At(mid).seq, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // enqueueAcked inserts an 802.11-acknowledged segment into q_seq, keeping
 // the queue sorted and dropping duplicates (MAC-layer retransmissions can
-// deliver the same MPDU's ACK twice).
+// deliver the same MPDU's ACK twice). Block-ACK feedback is mostly
+// in-order, so the common case is a plain append at the back.
 func (f *flowState) enqueueAcked(seq uint32, length int) {
-	i := sort.Search(len(f.qSeq), func(i int) bool { return !seqLT(f.qSeq[i].seq, seq) })
-	if i < len(f.qSeq) && f.qSeq[i].seq == seq {
+	if n := f.qSeq.Len(); n == 0 || seqLT(f.qSeq.At(n-1).seq, seq) {
+		f.qSeq.PushBack(ackedSeg{seq: seq, len: length})
 		return
 	}
-	f.qSeq = append(f.qSeq, ackedSeg{})
-	copy(f.qSeq[i+1:], f.qSeq[i:])
-	f.qSeq[i] = ackedSeg{seq: seq, len: length}
+	i := f.qSeqSearch(seq)
+	if i < f.qSeq.Len() && f.qSeq.At(i).seq == seq {
+		return
+	}
+	f.qSeq.Insert(i, ackedSeg{seq: seq, len: length})
 }
 
 // drainContiguous pops entries off q_seq while they continue seq_fack,
@@ -184,38 +233,96 @@ func (f *flowState) enqueueAcked(seq uint32, length int) {
 // point moved; the segment count is also the caller's best proxy for the
 // A-MPDU the block ACK covered.
 func (f *flowState) drainContiguous() (newFack uint32, segs int) {
-	for len(f.qSeq) > 0 {
-		head := f.qSeq[0]
+	for f.qSeq.Len() > 0 {
+		head := *f.qSeq.At(0)
 		if head.seq != f.seqFack {
 			// Continuity broken: wait for the missing 802.11 ACK.
 			if seqLT(head.seq, f.seqFack) {
 				// Stale entry below the fast-ack point; discard.
-				f.qSeq = f.qSeq[1:]
+				f.qSeq.PopFront()
 				continue
 			}
 			break
 		}
+		if f.vouchNeedsCache && f.cacheLookup(head.seq) == nil {
+			// Evicted before its feedback arrived: the agent cannot repair
+			// this segment, so it must not vouch for it. Stall here — the
+			// debt-stall guard will bypass the flow, whose remaining debt
+			// is still fully covered.
+			break
+		}
 		f.seqFack = head.seq + uint32(head.len)
-		f.qSeq = f.qSeq[1:]
+		f.qSeq.PopFront()
 		segs++
 	}
 	return f.seqFack, segs
 }
 
+// cloneDgram copies a datagram for the cache or a retransmission: pooled
+// when the flow belongs to an agent, a plain heap clone otherwise.
+func (f *flowState) cloneDgram(d *packet.Datagram) *packet.Datagram {
+	if f.bud != nil {
+		return f.bud.pool.clone(d)
+	}
+	return d.Clone()
+}
+
+// releaseSeg returns an evicted/purged cache entry's bytes to the flow and
+// the shared budget, and its datagram to the pool.
+func (f *flowState) releaseSeg(s cachedSeg) {
+	n := int(s.end - s.seq)
+	f.cacheBytes -= n
+	if f.bud != nil {
+		f.bud.used -= n
+		f.bud.pool.put(s.dgram)
+		if f.cacheBytes == 0 {
+			f.bud.lruRemove(f)
+		}
+	}
+}
+
+// releaseCache returns every cache entry to the shared accounting.
+func (f *flowState) releaseCache() {
+	for f.cache.Len() > 0 {
+		f.releaseSeg(f.cache.PopFront())
+	}
+}
+
+// cacheSearch returns the first cache index whose seq is >= seq.
+func (f *flowState) cacheSearch(seq uint32) int {
+	lo, hi := 0, f.cache.Len()
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if seqLT(f.cache.At(mid).seq, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 // cacheInsert stores a clone of the data packet for local retransmission.
-// Returns the evicted byte count if the cache limit forced eviction.
+// Returns the evicted byte count if the per-flow cache limit forced
+// eviction.
 func (f *flowState) cacheInsert(d *packet.Datagram, limitBytes int) (evicted int) {
 	seq := d.TCP.Seq
 	end := seq + uint32(d.PayloadLen)
-	i := sort.Search(len(f.cache), func(i int) bool { return !seqLT(f.cache[i].seq, seq) })
-	if i < len(f.cache) && f.cache[i].seq == seq {
-		return 0 // already cached (end-to-end retransmission)
+	if n := f.cache.Len(); n == 0 || seqLT(f.cache.At(n-1).seq, seq) {
+		f.cache.PushBack(cachedSeg{seq: seq, end: end, dgram: f.cloneDgram(d)})
+	} else {
+		i := f.cacheSearch(seq)
+		if i < f.cache.Len() && f.cache.At(i).seq == seq {
+			return 0 // already cached (end-to-end retransmission)
+		}
+		f.cache.Insert(i, cachedSeg{seq: seq, end: end, dgram: f.cloneDgram(d)})
 	}
-	f.cache = append(f.cache, cachedSeg{})
-	copy(f.cache[i+1:], f.cache[i:])
-	f.cache[i] = cachedSeg{seq: seq, end: end, dgram: d.Clone()}
 	f.cacheBytes += d.PayloadLen
-	for limitBytes > 0 && f.cacheBytes > limitBytes && len(f.cache) > 1 {
+	if f.bud != nil {
+		f.bud.used += d.PayloadLen
+		f.bud.touch(f)
+	}
+	for limitBytes > 0 && f.cacheBytes > limitBytes && f.cache.Len() > 1 {
 		// Evict the oldest (lowest seq): it is the most likely to have
 		// been delivered already. But never a segment overlapping the
 		// fast-ACK debt range [seq_TCP, seq_fack): those bytes were
@@ -223,15 +330,13 @@ func (f *flowState) cacheInsert(d *packet.Datagram, limitBytes int) (evicted int
 		// they can ever be repaired from. The cache overruns its budget
 		// instead, and the blocked eviction is surfaced as a thrash
 		// signal for the guard.
-		old := f.cache[0]
+		old := *f.cache.At(0)
 		if f.debtBytes() > 0 && seqLT(f.seqTCP, old.end) && seqLT(old.seq, f.seqFack) {
 			f.evictBlocked = true
 			break
 		}
-		f.cache = f.cache[1:]
-		n := int(old.end - old.seq)
-		f.cacheBytes -= n
-		evicted += n
+		f.releaseSeg(f.cache.PopFront())
+		evicted += int(old.end - old.seq)
 	}
 	return evicted
 }
@@ -242,33 +347,27 @@ func (f *flowState) cacheInsert(d *packet.Datagram, limitBytes int) (evicted int
 // only remaining job is making good on [seq_TCP, seq_fack).
 func (f *flowState) cacheTrimToDebt() {
 	f.cachePurge(f.seqTCP)
-	for len(f.cache) > 0 {
-		last := f.cache[len(f.cache)-1]
+	for f.cache.Len() > 0 {
+		last := *f.cache.At(f.cache.Len() - 1)
 		if seqLT(last.seq, f.seqFack) {
 			break // starts inside the debt range: keep
 		}
-		f.cacheBytes -= int(last.end - last.seq)
-		f.cache = f.cache[:len(f.cache)-1]
+		f.releaseSeg(f.cache.PopBack())
 	}
 }
 
 // cachePurge drops cache entries fully acknowledged at or below ack.
 func (f *flowState) cachePurge(ack uint32) {
-	i := 0
-	for i < len(f.cache) && seqLEQ(f.cache[i].end, ack) {
-		f.cacheBytes -= int(f.cache[i].end - f.cache[i].seq)
-		i++
-	}
-	if i > 0 {
-		f.cache = f.cache[i:]
+	for f.cache.Len() > 0 && seqLEQ(f.cache.At(0).end, ack) {
+		f.releaseSeg(f.cache.PopFront())
 	}
 }
 
 // cacheLookup returns the cached segment starting at seq, or nil.
 func (f *flowState) cacheLookup(seq uint32) *packet.Datagram {
-	i := sort.Search(len(f.cache), func(i int) bool { return !seqLT(f.cache[i].seq, seq) })
-	if i < len(f.cache) && f.cache[i].seq == seq {
-		return f.cache[i].dgram
+	i := f.cacheSearch(seq)
+	if i < f.cache.Len() && f.cache.At(i).seq == seq {
+		return f.cache.At(i).dgram
 	}
 	return nil
 }
@@ -276,7 +375,8 @@ func (f *flowState) cacheLookup(seq uint32) *packet.Datagram {
 // cacheRange returns cached segments overlapping [left, right).
 func (f *flowState) cacheRange(left, right uint32) []*packet.Datagram {
 	var out []*packet.Datagram
-	for _, c := range f.cache {
+	for i := 0; i < f.cache.Len(); i++ {
+		c := f.cache.At(i)
 		if seqLT(c.seq, right) && seqLT(left, c.end) {
 			out = append(out, c.dgram)
 		}

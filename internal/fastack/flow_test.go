@@ -25,8 +25,8 @@ func TestQuickQSeqSortedDisjoint(t *testing.T) {
 			fl.enqueueAcked(s, 100)
 			present[s] = true
 		}
-		for i := 1; i < len(fl.qSeq); i++ {
-			if !seqLT(fl.qSeq[i-1].seq, fl.qSeq[i].seq) {
+		for i := 1; i < fl.qSeq.Len(); i++ {
+			if !seqLT(fl.qSeq.At(i-1).seq, fl.qSeq.At(i).seq) {
 				return false
 			}
 		}
@@ -59,14 +59,15 @@ func TestQuickCacheInvariants(t *testing.T) {
 		if fl.cacheBytes > limit {
 			return false
 		}
-		for i := 1; i < len(fl.cache); i++ {
-			if !seqLT(fl.cache[i-1].seq, fl.cache[i].seq) {
+		for i := 1; i < fl.cache.Len(); i++ {
+			if !seqLT(fl.cache.At(i-1).seq, fl.cache.At(i).seq) {
 				return false
 			}
 		}
 		purge := uint32(purgeAt%64) * 100
 		fl.cachePurge(purge)
-		for _, c := range fl.cache {
+		for ci := 0; ci < fl.cache.Len(); ci++ {
+			c := fl.cache.At(ci)
 			if seqLT(c.seq, purge) && seqLEQ(c.end, purge) {
 				return false // purged range still present
 			}

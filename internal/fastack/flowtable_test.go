@@ -190,12 +190,12 @@ func TestCacheEvictionTable(t *testing.T) {
 			if f.cacheBytes != tc.wantBytes {
 				t.Errorf("cacheBytes = %d, want %d", f.cacheBytes, tc.wantBytes)
 			}
-			if len(f.cache) != len(tc.wantSeqs) {
-				t.Fatalf("cache holds %d entries, want %d", len(f.cache), len(tc.wantSeqs))
+			if f.cache.Len() != len(tc.wantSeqs) {
+				t.Fatalf("cache holds %d entries, want %d", f.cache.Len(), len(tc.wantSeqs))
 			}
 			for i, want := range tc.wantSeqs {
-				if f.cache[i].seq != want {
-					t.Errorf("cache[%d].seq = %d, want %d", i, f.cache[i].seq, want)
+				if f.cache.At(i).seq != want {
+					t.Errorf("cache[%d].seq = %d, want %d", i, f.cache.At(i).seq, want)
 				}
 			}
 		})

@@ -230,7 +230,7 @@ func (a *Agent) guardTrip(f *flowState, reason GuardReason) {
 	// The fast-ACK pipeline state is dead weight now: q_seq entries will
 	// never be fast-ACKed and the holes vector will never emulate another
 	// dup-ACK.
-	f.qSeq = nil
+	f.qSeq.Drop()
 	f.above = nil
 	f.stormCount = 0
 	f.dupAcksFromClient = 0
@@ -245,7 +245,7 @@ func (a *Agent) guardTrip(f *flowState, reason GuardReason) {
 	// acknowledged, bytes at or above seq_fack are still the sender's
 	// end-to-end responsibility (we never vouched for them).
 	f.cacheTrimToDebt()
-	a.checkFlow(f)
+	a.finishFlow(f)
 }
 
 // guardDetach completes a drain: the debt is repaid, the flow becomes a
@@ -255,10 +255,14 @@ func (a *Agent) guardDetach(f *flowState) {
 	obsm.guardDrained.Inc()
 	obsm.guardDrainMs.Observe(int64((a.now() - f.bypassAt) / sim.Millisecond))
 	f.gstate = GuardPassThrough
-	f.cache = nil
-	f.cacheBytes = 0
-	f.qSeq = nil
+	f.releaseCache()
+	if f.bud != nil {
+		f.bud.lruRemove(f)
+	}
+	f.cache.Drop()
+	f.qSeq.Drop()
 	f.above = nil
+	a.accountFlow(f)
 }
 
 // bypassDownlink handles sender→client traffic for a bypassed flow: pure
@@ -269,7 +273,7 @@ func (a *Agent) bypassDownlink(f *flowState, end uint32) Disposition {
 	if f.gstate != GuardPassThrough && seqLT(f.seqHigh, end) {
 		f.seqHigh = end
 	}
-	a.checkFlow(f)
+	a.finishFlow(f)
 	return forwardOnly
 }
 
@@ -314,7 +318,7 @@ func (a *Agent) bypassUplinkAck(f *flowState, t *packet.TCP) Disposition {
 			if ack != f.lastRtxSeq || now-f.lastRtxAt >= a.cfg.RtxGuard {
 				f.lastRtxSeq = ack
 				f.lastRtxAt = now
-				disp.ToClient = append(disp.ToClient, a.retransmitFromCache(f, ack, t.SACK)...)
+				a.retransmitFromCache(&disp, f, ack, t.SACK)
 			}
 		}
 	default:
@@ -330,12 +334,12 @@ func (a *Agent) bypassUplinkAck(f *flowState, t *packet.TCP) Disposition {
 			f.lastRtxSeq = f.seqTCP
 			f.lastRtxAt = now
 			f.debtProgressAt = now // one belt redrive per stall timeout
-			disp.ToClient = append(disp.ToClient, a.retransmitFromCache(f, f.seqTCP, nil)...)
+			a.retransmitFromCache(&disp, f, f.seqTCP, nil)
 		}
 	}
 	if f.debtBytes() == 0 {
 		a.guardDetach(f)
 	}
-	a.checkFlow(f)
+	a.finishFlow(f)
 	return disp
 }

@@ -68,8 +68,8 @@ func TestGuardDebtStallBypassesThenDrains(t *testing.T) {
 		t.Fatalf("GuardDrains = %d", s.GuardDrains)
 	}
 	f := h.a.flows[flowKey()]
-	if len(f.cache) != 0 || f.cacheBytes != 0 {
-		t.Fatalf("detached flow retains cache: %d entries %dB", len(f.cache), f.cacheBytes)
+	if f.cache.Len() != 0 || f.cacheBytes != 0 {
+		t.Fatalf("detached flow retains cache: %d entries %dB", f.cache.Len(), f.cacheBytes)
 	}
 	if v := h.a.Violations(); len(v) != 0 {
 		t.Fatalf("invariant violations: %v", v)
@@ -427,7 +427,7 @@ func TestSYNResetsStaleStateAndGuard(t *testing.T) {
 	syn.TCP.WindowScale = 7
 	h.a.HandleDownlink(syn)
 	f := h.a.flows[flowKey()]
-	if f.gstate != GuardActive || len(f.cache) != 0 || f.debtBytes() != 0 {
+	if f.gstate != GuardActive || f.cache.Len() != 0 || f.debtBytes() != 0 {
 		t.Fatalf("SYN left stale state: %s", f)
 	}
 	if f.seqExp != 70001 {
@@ -453,7 +453,7 @@ func TestInvariantCheckerFires(t *testing.T) {
 	buildDebt(t, h2)
 	f2 := h2.a.flows[flowKey()]
 	f2.gstate = GuardDraining
-	f2.cache = nil // debt range now uncovered
+	f2.releaseCache() // debt range now uncovered
 	f2.cacheBytes = 0
 	h2.a.checkFlow(f2)
 	if h2.a.Stats().InvariantViolations == 0 {

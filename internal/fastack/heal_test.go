@@ -48,8 +48,8 @@ func TestClientAckHealsLostFeedback(t *testing.T) {
 	if f.seqFack != 4000 {
 		t.Fatalf("seqFack=%d after heal, want 4000", f.seqFack)
 	}
-	if len(f.qSeq) != 0 {
-		t.Fatalf("q_seq still holds %d entries after heal", len(f.qSeq))
+	if f.qSeq.Len() != 0 {
+		t.Fatalf("q_seq still holds %d entries after heal", f.qSeq.Len())
 	}
 	if st := h.a.Stats(); st.FeedbackHeals != 1 {
 		t.Fatalf("FeedbackHeals=%d, want 1", st.FeedbackHeals)

@@ -72,7 +72,8 @@ func (f *flowState) cacheCovers(left, right uint32) bool {
 		return true
 	}
 	cur := left
-	for _, c := range f.cache {
+	for i := 0; i < f.cache.Len(); i++ {
+		c := f.cache.At(i)
 		if seqLEQ(c.end, cur) {
 			continue
 		}

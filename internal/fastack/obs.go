@@ -16,8 +16,15 @@ import (
 //	fastack.client_acks_dropped client duplicate ACKs suppressed
 //	fastack.cache_hits          retransmission-cache lookups that served
 //	fastack.cache_misses        lookups for segments not (or no longer) held
-//	fastack.cache_evictions     limit-forced evictions (limit too small or
-//	                            purge outrun by the sender)
+//	fastack.cache_evictions     per-flow limit-forced evictions (limit too
+//	                            small or purge outrun by the sender)
+//	fastack.cache_evictions_shared
+//	                            segments reclaimed from LRU flows by the
+//	                            cross-flow cache budget
+//	fastack.cache_budget_overruns
+//	                            inserts that left the shared budget overrun
+//	                            (every evictable byte vouched) — each trips
+//	                            the inserting flow's cache_thrash guard
 //	fastack.local_retransmits   segments re-driven from the cache
 //	fastack.window_updates      explicit window-update ACKs after a clamp
 //	fastack.ampdu_bytes         bytes coalesced per fast ACK — the agent's
@@ -42,6 +49,8 @@ type fastackMetrics struct {
 	cacheHits         *obs.Counter
 	cacheMisses       *obs.Counter
 	cacheEvictions    *obs.Counter
+	sharedEvictions   *obs.Counter
+	sharedOverruns    *obs.Counter
 	localRetransmits  *obs.Counter
 	windowUpdates     *obs.Counter
 	ampduBytes        *obs.Histogram
@@ -65,6 +74,8 @@ var obsm = func() *fastackMetrics {
 		cacheHits:         s.Counter("cache_hits"),
 		cacheMisses:       s.Counter("cache_misses"),
 		cacheEvictions:    s.Counter("cache_evictions"),
+		sharedEvictions:   s.Counter("cache_evictions_shared"),
+		sharedOverruns:    s.Counter("cache_budget_overruns"),
 		localRetransmits:  s.Counter("local_retransmits"),
 		windowUpdates:     s.Counter("window_updates"),
 		ampduBytes:        s.Histogram("ampdu_bytes", "B"),

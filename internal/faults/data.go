@@ -95,6 +95,12 @@ type segKey struct {
 	seq    uint32
 }
 
+// UplinkCoord maps a client index onto a disjoint coordinate space for
+// faults on that client's *uplink* wired segments (AP -> server). Salting
+// the direction keeps uplink and downlink data of one client drawing
+// independent fault streams while staying a pure function of the seed.
+func UplinkCoord(client int) int { return client + 1<<20 }
+
 // NewData builds an injector for a data-path profile; a nil profile
 // yields a nil injector (fault-free).
 func NewData(p *DataProfile) *DataInjector {

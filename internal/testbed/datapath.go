@@ -136,6 +136,8 @@ func (c *Client) fromAir(m *mac.MPDU) {
 		}
 	}
 	switch {
+	case d.TCP != nil && d.TCP.DstPort == uplinkClientPort && c.Uplink != nil:
+		c.Uplink.Deliver(d) // server's ACK stream for the client's upload
 	case d.TCP != nil && c.Receiver != nil:
 		c.Receiver.Deliver(d)
 	case d.UDP != nil:

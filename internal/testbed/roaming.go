@@ -38,18 +38,35 @@ func (tb *Testbed) Roam(clientIdx, toAP int) error {
 	c.AP = to
 	tb.Medium.SetSNR(to.Station.ID, c.Station.ID, c.SNR)
 
-	// Transfer FastACK state for every flow addressed to this client.
+	// Transfer FastACK state for every flow addressed to this client: the
+	// download flow and, when the client runs an upload, the dormant
+	// reverse-direction flow (its server-side ACK stream still addresses
+	// the client, so the roam-to agent should inherit what the roam-from
+	// agent learned about it).
 	if from.Agent != nil && to.Agent != nil {
-		serverEP := packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(5000 + c.Index)}
-		clientEP := packet.Endpoint{Addr: c.Addr, Port: 80}
-		flow := packet.Flow{Proto: packet.ProtoTCP, Src: serverEP, Dst: clientEP}
-		if ex, ok := from.Agent.Export(flow); ok {
+		flows := []packet.Flow{{
+			Proto: packet.ProtoTCP,
+			Src:   packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(5000 + c.Index)},
+			Dst:   packet.Endpoint{Addr: c.Addr, Port: 80},
+		}}
+		if c.Uplink != nil {
+			flows = append(flows, packet.Flow{
+				Proto: packet.ProtoTCP,
+				Src:   packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(20000 + c.Index)},
+				Dst:   packet.Endpoint{Addr: c.Addr, Port: uplinkClientPort},
+			})
+		}
+		for _, flow := range flows {
+			ex, ok := from.Agent.Export(flow)
+			if !ok {
+				continue
+			}
 			resync := to.Agent.Import(ex)
 			from.Agent.Drop(flow)
 			// Re-advertise the window from the new AP so a sender stalled
 			// on the roam-from AP's last advertisement resumes. A bypassed
-			// flow yields no resync ACK — it no longer impersonates the
-			// client.
+			// or dormant (never-saw-data) flow yields no resync ACK — it
+			// does not impersonate the client.
 			if resync != nil {
 				tb.wireToSender(resync)
 			}

@@ -51,7 +51,20 @@ const (
 	// UDPBulk runs a constant-bit-rate UDP download per client (the Fig 15
 	// aggregation upper bound).
 	UDPBulk
+	// TCPUplink runs one saturating TCP upload per client (client →
+	// wired server): the reverse-direction regime of Sharon & Alpert,
+	// where the AP's downlink carries only the server's ACK stream and a
+	// FastACK agent must stay entirely dormant.
+	TCPUplink
+	// TCPBidirectional runs a download and an upload per client
+	// concurrently: downlink data competes with uplink data and both ACK
+	// streams for airtime.
+	TCPBidirectional
 )
+
+// uplinkClientPort is the client-side port of upload flows; the wired
+// server side listens on 20000+clientIndex (see wireToSender routing).
+const uplinkClientPort = 81
 
 // Options configures a testbed run.
 type Options struct {
@@ -165,7 +178,8 @@ type Client struct {
 	AP       *AP
 	Station  *mac.Station
 	Addr     packet.IPv4Addr
-	Receiver *tcpstack.Receiver // TCPBulk
+	Receiver *tcpstack.Receiver // TCPBulk / TCPBidirectional download
+	Uplink   *tcpstack.Sender   // TCPUplink / TCPBidirectional upload
 	SNR      float64
 
 	UDPBytes    int64 // UDPBulk sink
@@ -179,13 +193,27 @@ type Client struct {
 	badBatchUsed bool
 }
 
-// Sender is the wired-side TCP sender for one client's flow.
+// Sender is the wired-side endpoint bundle for one client: the downlink
+// TCP/UDP source and, for uplink traffic, the server-side receiver of the
+// client's upload.
 type Sender struct {
 	Client *Client
 	TCP    *tcpstack.Sender
 	UDP    *tcpstack.UDPSource
+	// UpRX terminates the client's upload (TCPUplink / TCPBidirectional).
+	UpRX *tcpstack.Receiver
 	// CwndTrace samples (time, cwnd segments) for Fig 14.
 	CwndTrace []CwndSample
+
+	warmupUpBytes int64
+	upLatched     bool
+}
+
+func (s *Sender) latchWarmup() {
+	if s.UpRX != nil {
+		s.warmupUpBytes = s.UpRX.Stats().BytesReceived
+		s.upLatched = true
+	}
 }
 
 // CwndSample is one tcp_probe-style observation.
@@ -331,6 +359,8 @@ func (tb *Testbed) addClient(ap *AP, idx int) {
 	case UDPBulk:
 		// Started in Run so the ticker aligns with t=0.
 		snd.UDP = nil
+	case TCPUplink:
+		// Upload only: no downlink flow.
 	default:
 		snd.TCP = tcpstack.NewSender(tb.Engine, opt.TCP, serverEP, clientEP, func(d *packet.Datagram) {
 			// Route through the client's *current* AP: after a roam, the
@@ -342,6 +372,20 @@ func (tb *Testbed) addClient(ap *AP, idx int) {
 		}
 		c.Receiver = tcpstack.NewReceiver(tb.Engine, opt.TCP, clientEP, serverEP, func(d *packet.Datagram) {
 			c.Station.Enqueue(d, c.AP.Station.ID, phy.ACBE)
+		})
+	}
+	if opt.Traffic == TCPUplink || opt.Traffic == TCPBidirectional {
+		// Reverse-direction transfer: the client is the TCP sender, a
+		// wired server endpoint terminates it. Uplink data rides the
+		// client's station queue like its ACKs; the server's pure-ACK
+		// stream crosses the AP as ordinary (payload-free) downlink.
+		upCli := packet.Endpoint{Addr: c.Addr, Port: uplinkClientPort}
+		upSrv := packet.Endpoint{Addr: packet.IPv4AddrFromUint32(0x0a000001), Port: uint16(20000 + idx)}
+		c.Uplink = tcpstack.NewSender(tb.Engine, opt.TCP, upCli, upSrv, func(d *packet.Datagram) {
+			c.Station.Enqueue(d, c.AP.Station.ID, phy.ACBE)
+		})
+		snd.UpRX = tcpstack.NewReceiver(tb.Engine, opt.TCP, upSrv, upCli, func(d *packet.Datagram) {
+			tb.wireToAP(c.AP, d)
 		})
 	}
 	tb.Senders = append(tb.Senders, snd)
@@ -416,19 +460,57 @@ func (tb *Testbed) capture(d *packet.Datagram) {
 	_ = tb.Opt.Capture.WritePacket(tb.Engine.Now(), d.Marshal())
 }
 
-// wireToSender delivers a datagram from the AP to the wired sender.
+// wireToSender delivers a datagram from the AP to the wired side. Uplink
+// *data* segments face the same wired fault classes downlink data does,
+// keyed by a direction-salted coordinate so the two directions draw
+// independent fault streams; ACK and control traffic is spared, as on the
+// downlink wire.
 func (tb *Testbed) wireToSender(d *packet.Datagram) {
 	tb.capture(d)
-	tb.Engine.After(tb.Opt.WiredDelay, func(e *sim.Engine) {
-		// Route on destination port: sender endpoints are 10.0.0.1:5000+i.
-		if d.TCP == nil {
+	delay := tb.Opt.WiredDelay
+	if dj := tb.dataInj; dj != nil && d.TCP != nil && d.PayloadLen > 0 {
+		ci := faults.UplinkCoord(clientIndexOf(d.IP.Src))
+		seq := d.TCP.Seq
+		att := dj.SegmentArrival(ci, seq)
+		if dj.DropSegment(ci, seq, att) {
+			tb.Faults.WireDrops++
 			return
 		}
-		i := int(d.TCP.DstPort) - 5000
-		if i >= 0 && i < len(tb.Senders) && tb.Senders[i].TCP != nil {
-			tb.Senders[i].TCP.Deliver(d)
+		if dj.CorruptSegment(ci, seq, att) {
+			tb.Faults.WireCorrupts++
+			d = corruptSegment(d, dj.CorruptU32(ci, seq, 0, att))
 		}
+		if extra, ok := dj.ReorderSegment(ci, seq, att); ok {
+			tb.Faults.WireReorders++
+			delay += extra
+		}
+		if dj.DuplicateSegment(ci, seq, att) {
+			tb.Faults.WireDups++
+			dup := d.Clone()
+			tb.Engine.After(delay+50*sim.Microsecond, func(e *sim.Engine) {
+				tb.deliverToSender(dup)
+			})
+		}
+	}
+	tb.Engine.After(delay, func(e *sim.Engine) {
+		tb.deliverToSender(d)
 	})
+}
+
+// deliverToSender routes on destination port: download senders listen on
+// 10.0.0.1:5000+i, upload receivers on 10.0.0.1:20000+i.
+func (tb *Testbed) deliverToSender(d *packet.Datagram) {
+	if d.TCP == nil {
+		return
+	}
+	if i := int(d.TCP.DstPort) - 20000; i >= 0 && i < len(tb.Senders) && tb.Senders[i].UpRX != nil {
+		tb.Senders[i].UpRX.Deliver(d)
+		return
+	}
+	i := int(d.TCP.DstPort) - 5000
+	if i >= 0 && i < len(tb.Senders) && tb.Senders[i].TCP != nil {
+		tb.Senders[i].TCP.Deliver(d)
+	}
 }
 
 // Run executes the scenario for the given duration.
@@ -449,6 +531,11 @@ func (tb *Testbed) Run(duration sim.Time) {
 			snd.UDP = tcpstack.NewUDPSource(tb.Engine, serverEP, clientEP, tcpstack.MSS, opt.UDPRateMbps,
 				func(d *packet.Datagram) { tb.wireToAP(ap, d) })
 		}
+		if up := snd.Client.Uplink; up != nil {
+			u := up
+			tb.Engine.Schedule(sim.Time(i)*sim.Millisecond+500*sim.Microsecond,
+				func(e *sim.Engine) { u.Start() })
+		}
 	}
 	// Scheduled mid-flow roams from the data-fault profile.
 	for _, r := range tb.dataInj.Roams() {
@@ -464,6 +551,9 @@ func (tb *Testbed) Run(duration sim.Time) {
 		tb.warmupDone = true
 		for _, c := range tb.Clients {
 			c.latchWarmup()
+		}
+		for _, snd := range tb.Senders {
+			snd.latchWarmup()
 		}
 	})
 	tb.Engine.RunUntil(duration)
@@ -492,6 +582,21 @@ func (c *Client) GoodputMbps(duration sim.Time) float64 {
 	}
 	bytes := total - c.warmupBytes
 	return float64(bytes) * 8 / span.Seconds() / 1e6
+}
+
+// UplinkGoodputMbps returns the client's post-warmup upload goodput as
+// measured at the wired server (zero when the traffic mix has no uplink).
+func (c *Client) UplinkGoodputMbps(duration sim.Time) float64 {
+	snd := c.tb.Senders[c.Index]
+	if snd.UpRX == nil {
+		return 0
+	}
+	total := snd.UpRX.Stats().BytesReceived
+	span := duration - c.tb.Opt.Warmup
+	if !snd.upLatched || span <= 0 {
+		span = duration
+	}
+	return float64(total-snd.warmupUpBytes) * 8 / span.Seconds() / 1e6
 }
 
 // AgentStatsPerAP snapshots each AP's FastACK agent counters (a zero

@@ -1,0 +1,160 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/fastack"
+	"repro/internal/sim"
+)
+
+// Uplink-heavy and reverse-direction scenarios (Sharon & Alpert's regime):
+// when the client is the TCP sender, the AP's downlink carries only the
+// server's pure-ACK stream, and a FastACK agent must not manufacture or
+// suppress a single ACK. The tests pin that dormancy — the agent tracks
+// the reverse flows (it sees their SYN-ACKs) but never promotes them —
+// and that goodput matches the pass-through baseline.
+
+const (
+	uplinkDur    = 4 * sim.Second
+	uplinkWarmup = 1 * sim.Second
+)
+
+func runUplink(t *testing.T, mutate func(*Options)) *Testbed {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.Traffic = TCPUplink
+	opt.ClientsPerAP = 3
+	opt.Warmup = uplinkWarmup
+	opt.FastACK.CheckInvariants = true
+	if mutate != nil {
+		mutate(&opt)
+	}
+	tb := New(opt)
+	tb.Run(uplinkDur)
+	return tb
+}
+
+func uplinkAggregate(tb *Testbed) float64 {
+	total := 0.0
+	for _, c := range tb.Clients {
+		total += c.UplinkGoodputMbps(uplinkDur)
+	}
+	return total
+}
+
+func dormancy(t *testing.T, tb *Testbed) fastack.Stats {
+	t.Helper()
+	var sum fastack.Stats
+	for _, st := range tb.AgentStatsPerAP() {
+		sum.FastAcksSent += st.FastAcksSent
+		sum.ClientAcksDropped += st.ClientAcksDropped
+		sum.LocalRetransmits += st.LocalRetransmits
+		sum.GuardBypasses += st.GuardBypasses
+		sum.FlowsTracked += st.FlowsTracked
+	}
+	if sum.FastAcksSent != 0 {
+		t.Fatalf("agent forged %d ACKs for uplink-dominant flows", sum.FastAcksSent)
+	}
+	if sum.ClientAcksDropped != 0 {
+		t.Fatalf("agent suppressed %d packets of an uplink ACK stream", sum.ClientAcksDropped)
+	}
+	if sum.LocalRetransmits != 0 {
+		t.Fatalf("agent locally retransmitted %d segments of a dormant flow", sum.LocalRetransmits)
+	}
+	if v := tb.AgentViolations(); len(v) != 0 {
+		t.Fatalf("invariant violations on uplink traffic: %v", v)
+	}
+	return sum
+}
+
+func TestUplinkFastAckStaysDormant(t *testing.T) {
+	tb := runUplink(t, func(o *Options) { o.APModes = []Mode{FastACK} })
+	for i, c := range tb.Clients {
+		if g := c.UplinkGoodputMbps(uplinkDur); g <= 1 {
+			t.Fatalf("uplink client %d goodput %f Mbps", i, g)
+		}
+	}
+	sum := dormancy(t, tb)
+	// Dormant is not blind: the agent must have seen and tracked the
+	// reverse flows (their SYN-ACKs cross it), or the scenario never
+	// exercised the promotion gate at all.
+	if sum.FlowsTracked < int64(len(tb.Clients)) {
+		t.Fatalf("agent tracked %d flows, want >= %d reverse flows",
+			sum.FlowsTracked, len(tb.Clients))
+	}
+}
+
+func TestUplinkGoodputParityWithBaseline(t *testing.T) {
+	var got [2]float64
+	for i, mode := range []Mode{Baseline, FastACK} {
+		tb := runUplink(t, func(o *Options) { o.APModes = []Mode{mode} })
+		got[i] = uplinkAggregate(tb)
+	}
+	if got[0] <= 0 {
+		t.Fatalf("baseline uplink moved nothing")
+	}
+	// A dormant agent is pure pass-through: no worse than baseline (tiny
+	// tolerance for scheduling skew from the extra flow-table bookkeeping).
+	if got[1] < 0.99*got[0] {
+		t.Fatalf("FastACK uplink %f < 0.99x baseline %f Mbps", got[1], got[0])
+	}
+}
+
+func TestBidirectionalFastAckSafety(t *testing.T) {
+	tb := runUplink(t, func(o *Options) {
+		o.Traffic = TCPBidirectional
+		o.APModes = []Mode{FastACK}
+	})
+	var down, up float64
+	for _, c := range tb.Clients {
+		down += c.GoodputMbps(uplinkDur)
+		up += c.UplinkGoodputMbps(uplinkDur)
+	}
+	if down <= 1 || up <= 1 {
+		t.Fatalf("bidirectional starved a direction: down %f, up %f Mbps", down, up)
+	}
+	// The download direction must engage fast-ACKing while the upload's
+	// reverse flows stay untouched; with both mixed on one agent the only
+	// observable split is that every suppressed packet belongs to a
+	// download flow — which invariant checking plus the uplink receivers'
+	// own progress (above) establishes.
+	st := tb.AgentStatsPerAP()[0]
+	if st.FastAcksSent == 0 {
+		t.Fatal("download direction never fast-acked")
+	}
+	if v := tb.AgentViolations(); len(v) != 0 {
+		t.Fatalf("invariant violations on bidirectional traffic: %v", v)
+	}
+	tb.Engine.RunUntil(uplinkDur + 500*sim.Millisecond)
+	if n := tb.UndrainedBypassedFlows(); n != 0 {
+		t.Fatalf("%d bypassed flows still owe fast-ACK debt", n)
+	}
+}
+
+// TestUplinkChaosComposes runs the reverse-direction mix under the full
+// DataChaos fault plane — including a mid-flow roam between two FastACK
+// APs, which exercises Export/Import of a dormant (never-saw-data) flow:
+// the transfer must not forge a resync ACK.
+func TestUplinkChaosComposes(t *testing.T) {
+	for _, seed := range []int64{3, 19, 71} {
+		tb := runUplink(t, func(o *Options) {
+			o.Seed = seed
+			o.APModes = []Mode{FastACK, FastACK}
+			o.ClientsPerAP = 2
+			o.DataFaults = chaosProfile(seed)
+		})
+		if tb.Faults.WireDrops == 0 {
+			t.Fatalf("seed %d: chaos injected no wire loss on uplink data", seed)
+		}
+		if tb.Clients[0].AP.Index != 1 {
+			t.Fatalf("seed %d: client 0 still on AP %d after scheduled roam",
+				seed, tb.Clients[0].AP.Index)
+		}
+		for i, c := range tb.Clients {
+			if g := c.UplinkGoodputMbps(uplinkDur); g <= 0 {
+				t.Fatalf("seed %d: uplink client %d starved under chaos (%f Mbps)", seed, i, g)
+			}
+		}
+		dormancy(t, tb)
+	}
+}
