@@ -12,20 +12,24 @@ GO ?= go
 # the TCP packet path, where a silent regression corrupts traffic rather
 # than failing a build, plus the shared telemetry store and the fleet
 # control plane, whose determinism contracts live in their tests.
-COVER_PKGS  = ./internal/fastack ./internal/tcpstack ./internal/packet ./internal/littletable ./internal/fleetd
+COVER_PKGS  = ./internal/fastack ./internal/tcpstack ./internal/packet ./internal/littletable ./internal/fleetd ./internal/oracle
 COVER_FLOOR = 75
 # The FastACK agent carries the safety guard and invariant checker; its
 # guard/chaos/fuzz test battery holds it to a stricter floor.
 COVER_FLOOR_FASTACK = 93
+# The optimality oracle is the ground truth the planner is measured
+# against; an untested branch there silently weakens every gap number.
+COVER_FLOOR_ORACLE = 85
 
 # Seconds of random exploration per fuzz target in the smoke pass. The
 # checked-in seed corpora always run in full via `make test`; this adds a
 # brief live search so verify catches shallow regressions in new code.
 FUZZTIME = 5s
 
-.PHONY: verify vet build test race chaos chaos-kill cover fuzz bench bench-json bench-check
+.PHONY: verify vet build test race chaos chaos-kill cover fuzz bench bench-json bench-check gap
 
 verify: vet build test race chaos chaos-kill cover fuzz bench-json bench-check
+	-$(MAKE) gap
 
 vet:
 	$(GO) vet ./...
@@ -69,7 +73,10 @@ chaos-kill:
 cover:
 	@for pkg in $(COVER_PKGS); do \
 		floor=$(COVER_FLOOR); \
-		case $$pkg in */fastack) floor=$(COVER_FLOOR_FASTACK);; esac; \
+		case $$pkg in \
+			*/fastack) floor=$(COVER_FLOOR_FASTACK);; \
+			*/oracle) floor=$(COVER_FLOOR_ORACLE);; \
+		esac; \
 		out=$$($(GO) test -cover -count=1 $$pkg | tail -1) || exit 1; \
 		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; exit 1; fi; \
@@ -93,16 +100,19 @@ bench:
 	$(GO) test -run=NONE -bench=RunNBO -benchmem ./internal/turboca/...
 
 # Machine-readable benchmark artifacts: BENCH_planner.json (one i=0 pass
-# over the ~600-AP chain), BENCH_fleetd.json (bytes/network and
-# passes/sec at 10k networks), and BENCH_fastack.json (hot-path
-# segments/sec and allocs/op at 1k and 10k concurrent flows).
+# over the ~600-AP chain), BENCH_fleetd.json (bytes/network and passes/sec
+# at 10k networks, plus the adaptive-cadence twin's passes-saved numbers),
+# BENCH_oracle.json (exact-solver latency and node counts at 6/9/12 APs),
+# and BENCH_fastack.json (hot-path segments/sec and allocs/op at 1k and
+# 10k concurrent flows).
 # Non-failing by design — the artifacts are a by-product of verify, not a
 # gate on absolute speed; regressions are judged by a human diffing the
 # JSON, so a slow machine cannot fail the build. bench-check (below)
 # still fails verify when an artifact is missing or malformed.
 bench-json:
 	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkPlannerPass$$' -benchtime=1x ./internal/turboca
-	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkFleetd10kNetworks$$' -benchtime=1x -timeout 30m ./internal/fleetd
+	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^(BenchmarkFleetd10kNetworks|BenchmarkFleetdAdaptiveCadence)$$' -benchtime=1x -timeout 30m ./internal/fleetd
+	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkOracleSolve$$' ./internal/oracle
 	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkAgentHotPath' -benchtime=50000x ./internal/fastack
 
 # Sanity-check the bench-json artifacts: every required key present and a
@@ -111,5 +121,13 @@ bench-json:
 bench-check:
 	$(GO) run ./cmd/benchcheck \
 		BENCH_planner.json:ns_per_pass,passes_per_sec,aps \
-		BENCH_fleetd.json:ns_per_pass,passes_per_sec,bytes_per_network,networks \
+		BENCH_fleetd.json:ns_per_pass,passes_per_sec,bytes_per_network,networks,adaptive_passes_saved_pct,adaptive_netp_delta_pct \
+		BENCH_oracle.json:aps_6_ns_per_solve,aps_6_nodes,aps_9_ns_per_solve,aps_9_nodes,aps_12_ns_per_solve,aps_12_nodes \
 		BENCH_fastack.json:flows_1000_segments_per_sec,flows_1000_allocs_per_op,flows_10000_segments_per_sec,flows_10000_allocs_per_op,flows_1000_batched_segments_per_sec
+
+# Optimality-gap campaign (advisory, non-failing in verify): the exact
+# branch-and-bound oracle certifies NBO's NetP on every <=12-AP scenario
+# family under the race detector. See internal/experiments/gap.go and
+# `turboca -oracle` for the interactive version.
+gap:
+	$(GO) test -race -count=1 -run '^TestGapCampaign$$' ./internal/experiments

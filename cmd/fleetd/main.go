@@ -48,6 +48,7 @@ func run() int {
 	budget := flag.Int("budget", 0, "max planning passes per scheduler tick; excess sheds deepest-first (0 = unlimited)")
 	chaos := flag.Bool("chaos", false, "inject the default chaos fault profile into every network's control path")
 	noSkip := flag.Bool("no-dirty-skip", false, "disable dirty-driven elision of provably no-op fast passes (results are identical either way)")
+	adaptive := flag.Bool("adaptive", false, "churn-driven adaptive cadence: stable networks stretch their schedule up to 8x, volatile ones snap back to base")
 	storeDir := flag.String("store", "", "durability directory (journal + checkpoints); restart replays the journal and resumes where the last process stopped")
 	ckptEvery := flag.Duration("checkpoint-every", time.Hour, "simulated time between periodic checkpoints (requires -store)")
 	passDeadline := flag.Duration("pass-deadline", 0, "wall-clock watchdog per planning pass; a pass exceeding it is cancelled and its network quarantined (0 = off)")
@@ -78,6 +79,7 @@ func run() int {
 		Workers:          *workers,
 		MaxPassesPerTick: *budget,
 		DisableDirtySkip: *noSkip,
+		AdaptiveCadence:  *adaptive,
 		PassDeadline:     *passDeadline,
 		CheckpointEvery:  sim.Time(ckptEvery.Microseconds()),
 		Backend:          opt,
@@ -171,6 +173,9 @@ func hourLine(c *fleetd.Controller) string {
 		s.ConvergedNets, len(s.Networks), s.TotalSwitches, s.LogNetP5.P50)
 	if s.QuarantinedNets > 0 {
 		line += fmt.Sprintf(" quarantined=%d", s.QuarantinedNets)
+	}
+	if st, esc := c.AdaptiveStretched(), c.AdaptiveEscalated(); st > 0 || esc > 0 {
+		line += fmt.Sprintf(" stretched=%d escalated=%d", st, esc)
 	}
 	return line + "\n"
 }

@@ -85,6 +85,7 @@ func All(opt Options) []Report {
 	}
 	out = append(out, TurboCAExperiments(opt)...)
 	out = append(out, FastACKExperiments(opt)...)
+	out = append(out, OptimalityGap(opt))
 	out = append(out, MetricsReport(obs.Default().Snapshot().Delta(metricsBefore)))
 	return out
 }

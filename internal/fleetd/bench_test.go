@@ -2,6 +2,7 @@ package fleetd
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,16 +13,25 @@ import (
 	"repro/internal/sim"
 )
 
-// writeBenchJSON writes a machine-readable benchmark artifact into
+// writeBenchJSON merges a machine-readable benchmark artifact into
 // $BENCH_JSON_DIR (no-op when unset). `make bench-json` sets the
 // directory; the verify target carries the artifact as a non-failing
-// by-product.
+// by-product. Keys merge into any existing file so several benchmarks in
+// one run can contribute to the same artifact (the scale gauge and the
+// adaptive-cadence twin both feed BENCH_fleetd.json).
 func writeBenchJSON(b *testing.B, name string, payload map[string]float64) {
 	dir := os.Getenv("BENCH_JSON_DIR")
 	if dir == "" || name == "" {
 		return
 	}
-	data, err := json.MarshalIndent(payload, "", "  ")
+	merged := map[string]float64{}
+	if prev, err := os.ReadFile(filepath.Join(dir, name)); err == nil {
+		_ = json.Unmarshal(prev, &merged)
+	}
+	for k, v := range payload {
+		merged[k] = v
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
 	if err != nil {
 		b.Logf("bench json: %v", err)
 		return
@@ -127,6 +137,57 @@ func benchFleetScale(b *testing.B, networks int, artifact string) {
 // BENCH_fleetd.json.
 func BenchmarkFleetd10kNetworks(b *testing.B) {
 	benchFleetScale(b, 10_000, "BENCH_fleetd.json")
+}
+
+// BenchmarkFleetdAdaptiveCadence runs twin 200-network fleets — fixed
+// §4.4.4 cadence vs Config.AdaptiveCadence — over ten simulated hours
+// and reports the planning passes the adaptive controller saved at equal
+// final fleet NetP (the headline adaptive_passes_saved_pct /
+// adaptive_netp_delta_pct pair merged into BENCH_fleetd.json). The timed
+// loop then measures steady-state fleet sweeps on the adaptive twin,
+// where most networks coast at a stretched cadence.
+func BenchmarkFleetdAdaptiveCadence(b *testing.B) {
+	const networks = 200
+	const horizon = 10 * sim.Hour
+	twin := func(adaptive bool) (*Controller, Snapshot) {
+		f := fleet.Generate(fleet.Options{Seed: 20170811, Networks: networks})
+		c := New(Config{
+			Seed: 1, Fast: 15 * sim.Minute, Mid: 3 * sim.Hour, Deep: -1,
+			AdaptiveCadence: adaptive, Obs: obs.NewRegistry(),
+		})
+		c.AddFleet(f)
+		c.Run(horizon)
+		return c, c.Snapshot()
+	}
+	_, fixed := twin(false)
+	ac, adapted := twin(true)
+
+	passes := func(s Snapshot) float64 {
+		total := 0
+		for _, n := range s.Passes {
+			total += n
+		}
+		return float64(total)
+	}
+	savedPct := 100 * (passes(fixed) - passes(adapted)) / passes(fixed)
+	netpDeltaPct := 0.0
+	if fixed.LogNetP5.P50 != 0 {
+		netpDeltaPct = 100 * math.Abs(adapted.LogNetP5.P50-fixed.LogNetP5.P50) / math.Abs(fixed.LogNetP5.P50)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ac.Run(15 * sim.Minute)
+	}
+	b.StopTimer()
+	b.ReportMetric(savedPct, "saved%")
+	b.ReportMetric(netpDeltaPct, "netpΔ%")
+	writeBenchJSON(b, "BENCH_fleetd.json", map[string]float64{
+		"adaptive_passes_saved_pct": savedPct,
+		"adaptive_netp_delta_pct":   netpDeltaPct,
+		"adaptive_stretched":        float64(ac.AdaptiveStretched()),
+		"adaptive_escalated":        float64(ac.AdaptiveEscalated()),
+	})
 }
 
 // BenchmarkFleetd100kNetworks is the 100k-network smoke: skipped under

@@ -1,0 +1,128 @@
+package fleetd
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// SetCadence between ticks: the affected levels' pending heap entries
+// move in place (exactly one entry per (network, level) pair survives — a
+// cadence change must never make a level fire twice), a disabled level is
+// dropped, a re-enabled one arms fresh, and subsequent ticks honor the
+// new periods.
+func TestSetCadenceBetweenTicksUpdatesInPlace(t *testing.T) {
+	c := New(Config{Seed: 11, Fast: 15 * sim.Minute, Mid: 45 * sim.Minute, Deep: -1, Obs: obs.NewRegistry()})
+	c.Add(testNetwork(0, 2), NetOptions{})
+	c.Add(testNetwork(1, 2), NetOptions{})
+	c.Run(15 * sim.Minute) // one fast tick each; pending: fast@30m ×2, mid@45m ×2
+
+	if !c.SetCadence(0, NetOptions{Fast: 5 * sim.Minute, Mid: -1}) {
+		t.Fatal("SetCadence(0) = false")
+	}
+	if c.SetCadence(99, NetOptions{Fast: 5 * sim.Minute}) {
+		t.Fatal("SetCadence on an unknown network = true")
+	}
+
+	counts := map[[2]int]int{}
+	for _, e := range c.sched.entries() {
+		counts[[2]int{e.id, e.level}]++
+	}
+	want := map[[2]int]sim.Time{
+		{0, levelFast}: 20 * sim.Minute, // moved in place: now(15m) + new 5m period
+		{1, levelFast}: 30 * sim.Minute, // untouched
+		{1, levelMid}:  45 * sim.Minute, // untouched
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("pending pairs = %v, want exactly %d pairs", counts, len(want))
+	}
+	for pair, at := range want {
+		if counts[pair] != 1 {
+			t.Fatalf("pair %v has %d heap entries, want exactly 1", pair, counts[pair])
+		}
+		if got, ok := c.sched.when(pair[0], pair[1]); !ok || got != at {
+			t.Fatalf("when(%v) = %v, %v; want %v", pair, got, ok, at)
+		}
+	}
+
+	// The new schedule drives the next hour: net 0 fires every 5 minutes
+	// with its mid level silent; net 1 stays on the original cadences
+	// (its 45m mid coalesces the coincident fast entry).
+	c.Run(sim.Hour)
+	snap := c.Snapshot()
+	if got := snap.Networks[0].Passes; got != [numLevels]int{13, 0, 0} {
+		t.Fatalf("net 0 passes = %v, want [13 0 0]", got)
+	}
+	if got := snap.Networks[1].Passes; got != [numLevels]int{4, 1, 0} {
+		t.Fatalf("net 1 passes = %v, want [4 1 0]", got)
+	}
+
+	// Re-enabling a disabled level (override 0 inherits the controller
+	// default) arms one fresh entry at now+period.
+	if !c.SetCadence(0, NetOptions{Fast: 5 * sim.Minute}) {
+		t.Fatal("re-enabling SetCadence(0) = false")
+	}
+	if at, ok := c.sched.when(0, levelMid); !ok || at != c.Now()+45*sim.Minute {
+		t.Fatalf("re-enabled mid level at %v, %v; want %v", at, ok, c.Now()+45*sim.Minute)
+	}
+	counts = map[[2]int]int{}
+	for _, e := range c.sched.entries() {
+		counts[[2]int{e.id, e.level}]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("pending pairs after re-enable = %v, want 4", counts)
+	}
+	for pair, n := range counts {
+		if n != 1 {
+			t.Fatalf("pair %v has %d heap entries, want exactly 1", pair, n)
+		}
+	}
+}
+
+// A journaled SetCadence replays through the same replace-in-place path:
+// a reopened controller matches its uncrashed twin byte for byte, and
+// both continue identically past the replay point.
+func TestSetCadenceJournalReplay(t *testing.T) {
+	cfg := testConfig(61)
+	f := testFleet(61, 4)
+	store := NewMemStore(nil)
+	live := mustOpen(t, cfg, store)
+	if err := live.AddFleet(f); err != nil {
+		t.Fatalf("addfleet: %v", err)
+	}
+	if err := live.RunTo(30 * sim.Minute); err != nil {
+		t.Fatalf("runto 30m: %v", err)
+	}
+	if !live.SetCadence(2, NetOptions{Fast: 5 * sim.Minute, Mid: -1}) {
+		t.Fatal("SetCadence(2) = false")
+	}
+	// An unknown ID is journaled anyway and must replay as the same no-op.
+	if live.SetCadence(999, NetOptions{Fast: sim.Minute}) {
+		t.Fatal("SetCadence(999) = true")
+	}
+	if err := live.RunTo(sim.Hour); err != nil {
+		t.Fatalf("runto 1h: %v", err)
+	}
+
+	reopened := mustOpen(t, testConfig(61), store)
+	requireEquivalent(t, "reopened", reopened, live)
+
+	if err := live.RunTo(2 * sim.Hour); err != nil {
+		t.Fatalf("live continue: %v", err)
+	}
+	if err := reopened.RunTo(2 * sim.Hour); err != nil {
+		t.Fatalf("reopened continue: %v", err)
+	}
+	requireEquivalent(t, "continued", reopened, live)
+
+	// The re-parameterized network really runs at the 5-minute cadence:
+	// 2 fast passes before the change, then 18 over the remaining 90m.
+	snap := live.Snapshot()
+	if got := snap.Networks[2].Passes[levelFast]; got != 20 {
+		t.Fatalf("net 2 fast passes = %d, want 20", got)
+	}
+	if got := snap.Networks[0].Passes[levelFast]; got != 8 {
+		t.Fatalf("net 0 fast passes = %d, want 8", got)
+	}
+}

@@ -69,7 +69,17 @@ func (c *Controller) checkpointBytes() []byte {
 		for level := 0; level < numLevels; level++ {
 			f["passes_"+levelName(level)] = float64(ns.passes[level])
 			f["shed_"+levelName(level)] = float64(ns.shed[level])
+			f["cad_"+levelName(level)] = float64(ns.cadence[level])
 		}
+		// Adaptive-cadence controller state (defaults when the controller
+		// is off). Two fleets that ran the same passes but diverged in
+		// cadence accounting must not compare checkpoint-equal.
+		f["mult"] = float64(ns.mult)
+		f["ewma"] = ns.ewma
+		f["calm"] = float64(ns.calm)
+		f["lastnp5"] = ns.lastNP5
+		f["lastnp24"] = ns.lastNP24
+		f["havepass"] = boolField(ns.havePass)
 		// A quarantined network's backend froze mid-fault (a wedged pass
 		// aborts at a wall-clock-dependent point), so its planner-visible
 		// state is excluded from the canonical bytes; the flag and the

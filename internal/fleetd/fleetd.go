@@ -79,6 +79,16 @@ type Config struct {
 	// (the invariant TestSnapshotInvariantAcrossShardsAndWorkers pins).
 	// Deep (i>0) passes are never skipped.
 	DisableDirtySkip bool
+	// AdaptiveCadence enables the churn-driven cadence controller (see
+	// adaptive.go): networks whose NetP has stopped moving stretch their
+	// schedule by doubling steps up to 8x the base cadence, and any sign
+	// of volatility (a planner improvement, or NetP churn above the EWMA
+	// threshold) snaps them back to 1x and pulls their pending deadlines
+	// forward. Off by default; snapshots remain byte-identical across
+	// shard/worker settings either way, but an adaptive fleet's snapshot
+	// differs from a fixed-cadence fleet's (fewer passes run), so the flag
+	// is folded into the config digest.
+	AdaptiveCadence bool
 	// Retention bounds both the shared fleet store and every per-network
 	// telemetry DB to a trailing window (default 24 h; negative disables).
 	// The fleet control plane only ever reads recent telemetry, and at
@@ -171,6 +181,11 @@ func (c Config) digest() uint64 {
 	} else {
 		wr(0)
 	}
+	if c.AdaptiveCadence {
+		wr(1)
+	} else {
+		wr(0)
+	}
 	return h.Sum64()
 }
 
@@ -208,6 +223,17 @@ type netState struct {
 	passes    [numLevels]int
 	shed      [numLevels]int
 	coalesced int
+
+	// Adaptive-cadence accounting (Config.AdaptiveCadence; adaptive.go).
+	// All written in the serial tick section only; mult starts at 1 and
+	// stays there when the controller is off, so the reschedule arithmetic
+	// is shared between modes.
+	mult     int     // cadence multiplier, power of two in [1, adaptMaxMult]
+	ewma     float64 // EWMA of relative NetP movement per executed pass
+	calm     int     // consecutive quiet observations since the last reset
+	lastNP5  float64 // previous pass's 5 GHz objective
+	lastNP24 float64 // previous pass's 2.4 GHz objective
+	havePass bool    // lastNP* hold a real observation
 
 	// quarantined marks a network whose pass faulted (panic or watchdog
 	// cancellation): it is dropped from the scheduler, skipped by engine
@@ -423,6 +449,7 @@ func (c *Controller) buildNet(n *fleet.Network, opt NetOptions) *netState {
 		id:      n.ID,
 		key:     netKey(n.ID),
 		apCount: len(n.APs),
+		mult:    1,
 	}
 	ns.build = func() {
 		ns.sc = buildScenario(n, seed)
@@ -487,6 +514,45 @@ func (c *Controller) remove(id int) bool {
 	return true
 }
 
+// SetCadence re-parameterizes one registered network's cadences between
+// ticks: 0 inherits the controller default, negative disables the level.
+// Each affected level's pending heap entry is moved in place — replaced,
+// never duplicated — so a cadence change cannot make a level fire twice;
+// a newly enabled level arms at now+period, a disabled one is dropped.
+// The intent is journaled ahead of the mutation, like Add/Remove. Returns
+// false for an unknown or quarantined network (the journal still records
+// the intent; replay repeats the same no-op).
+func (c *Controller) SetCadence(id int, opt NetOptions) bool {
+	if err := c.appendRecord(jrec{Op: opCadence, ID: id, Opt: &opt}); err != nil {
+		return false
+	}
+	return c.setCadence(id, opt)
+}
+
+func (c *Controller) setCadence(id int, opt NetOptions) bool {
+	ns := c.shardFor(id).get(id)
+	if ns == nil || ns.quarantined {
+		return false
+	}
+	for level, override := range [numLevels]sim.Time{opt.Fast, opt.Mid, opt.Deep} {
+		old := ns.cadence[level]
+		period := resolveCadence(override, [numLevels]sim.Time{c.cfg.Fast, c.cfg.Mid, c.cfg.Deep}[level])
+		ns.cadence[level] = period
+		switch {
+		case period <= 0:
+			if old > 0 {
+				c.sched.dropLevel(id, level)
+			}
+		default:
+			at := c.now + period*ns.cadenceMult()
+			if !c.sched.reschedule(id, level, at) {
+				c.sched.push(passEntry{at: at, id: id, level: level})
+			}
+		}
+	}
+	return true
+}
+
 // passJob is one network's work at a tick: the deepest due level plus
 // every shallower level it subsumes.
 type passJob struct {
@@ -500,9 +566,14 @@ type passJob struct {
 
 // passResult is what a worker brings back to the serial ingest section.
 type passResult struct {
-	apRows   []littletable.Row
-	passRow  littletable.Row
-	logNetP5 float64
+	apRows    []littletable.Row
+	passRow   littletable.Row
+	logNetP5  float64
+	logNetP24 float64
+	// improved counts band-invocations within this pass whose planner
+	// accepted a strictly better plan — the adaptive controller's
+	// volatility signal.
+	improved int
 	// skipped counts band-invocations within this pass the planning
 	// service elided as provable no-ops (dirty-skip). Observability only:
 	// a skipped invocation leaves every planner-visible byte identical to
@@ -709,6 +780,12 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) error {
 		j.ns.passes[j.level]++
 		c.met.passesRun[j.level].Inc()
 		c.met.skippedI0.Add(int64(res.skipped))
+		if c.cfg.AdaptiveCadence {
+			// Serial, ascending-ID, before the reschedule loop below — so
+			// the controller's decision is shard/worker independent and this
+			// tick's own levels already re-arm at the new multiplier.
+			c.adaptObserve(t, j, res)
+		}
 		passTab.InsertBatch(j.ns.key, []littletable.Row{res.passRow})
 		apTab.InsertBatch(j.ns.key, res.apRows)
 		c.met.ingestRows.Add(int64(1 + len(res.apRows)))
@@ -723,7 +800,7 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) error {
 			if period <= 0 {
 				continue
 			}
-			at := t + period
+			at := t + period*j.ns.cadenceMult()
 			if j.demoted && level > levelFast {
 				// Demoted deep intent re-queues at the degraded deferral
 				// instead of its cadence — sooner, so depth recovers quickly
@@ -763,20 +840,25 @@ func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
 	ns.ensureBuilt()
 	ns.engine.RunUntil(t)
 	skipBefore := ns.be.Service.SkippedTotal
+	impBefore := ns.be.Service.ImprovedTotal
 	ns.be.Service.RunOnce(levelHops[j.level])
 	skipped := ns.be.Service.SkippedTotal - skipBefore
+	improved := ns.be.Service.ImprovedTotal - impBefore
 
 	logNetP5 := ns.be.Service.LastLogNetP[spectrum.Band5]
 	converged := 0.0
 	if ns.be.Converged() {
 		converged = 1
 	}
+	logNetP24 := ns.be.Service.LastLogNetP[spectrum.Band2G4]
 	res := &passResult{
-		logNetP5: logNetP5,
-		skipped:  skipped,
+		logNetP5:  logNetP5,
+		logNetP24: logNetP24,
+		improved:  improved,
+		skipped:   skipped,
 		passRow: littletable.Row{At: t, Fields: map[string]float64{
 			"lognetp5":  logNetP5,
-			"lognetp24": ns.be.Service.LastLogNetP[spectrum.Band2G4],
+			"lognetp24": logNetP24,
 			"switches":  float64(ns.be.Switches()),
 			"converged": converged,
 			"level":     float64(j.level),

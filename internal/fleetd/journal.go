@@ -26,6 +26,9 @@ import (
 //	          re-runs fleet.Generate, so 10k networks cost one record).
 //	add       one hand-built network, inlined (fleet.Network JSON).
 //	remove    network deregistration.
+//	cadence   per-network cadence re-parameterization (ID + NetOptions):
+//	          SetCadence between ticks, replayed through the same
+//	          replace-in-place scheduler path.
 //	advance   RunTo target clock, written ahead of the run. Replaying an
 //	          advance re-executes every pass it covered.
 //	demote    a degraded-mode tick: deep passes due at To ran at i=0 and
@@ -46,6 +49,7 @@ const (
 	opAddFleet = "addfleet"
 	opAdd      = "add"
 	opRemove   = "remove"
+	opCadence  = "cadence"
 	opAdvance  = "advance"
 	opDemote   = "demote"
 	opCkpt     = "ckpt"

@@ -131,6 +131,13 @@ func Open(cfg Config, store Store) (*Controller, error) {
 		case opRemove:
 			c.replayPop()
 			c.remove(r.ID)
+		case opCadence:
+			c.replayPop()
+			opt := NetOptions{}
+			if r.Opt != nil {
+				opt = *r.Opt
+			}
+			c.setCadence(r.ID, opt)
 		case opAdvance:
 			c.replayPop()
 			if err := c.runTo(sim.Time(r.To)); err != nil {

@@ -1,0 +1,350 @@
+// Package oracle answers the question the greedy planner cannot answer
+// about itself: how far from optimal is NBO? It solves the (channel,
+// width) assignment problem exactly on small topologies (≲12 APs) with a
+// branch-and-bound search over the same NodeP/NetP objective TurboCA
+// maximizes (§4.4.1), using the per-AP best-case NodeP as an admissible
+// upper bound — the exact-formulation counterpart of Kai et al.'s optimal
+// channel-bonding allocation, evaluated on this repository's metric.
+//
+// The search is deterministic (fixed branch order, stable value order,
+// first-found-wins on ties) and budgeted: when the node or wall-clock
+// budget exhausts, the incumbent is returned together with a proven upper
+// bound on the unexplored remainder, so every run yields either a
+// certificate of optimality (Proven) or a bracket the heuristic can be
+// measured against.
+package oracle
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/turboca"
+)
+
+// DefaultMaxNodes bounds the search when Options.MaxNodes is zero. At
+// ~1 µs per node it caps a solve at a few seconds — enough to prove
+// optimality on most ≤12-AP scenarios while keeping a pathological one
+// from wedging a campaign.
+const DefaultMaxNodes = 2_000_000
+
+// slack is the floating-point tolerance of every bound comparison. Bounds
+// and leaf scores are sums of the same float64 terms in different
+// association orders, so they can disagree in the last bits; pruning
+// demands the bound clear the incumbent by more than this noise floor.
+const slack = 1e-9
+
+// Options budgets one solve.
+type Options struct {
+	// MaxNodes caps expanded search nodes (0 = DefaultMaxNodes; negative
+	// = unlimited). The node budget is deterministic: two runs over the
+	// same input stop at the same node.
+	MaxNodes int
+	// Timeout caps wall-clock time (0 = none). A timeout stop is NOT
+	// deterministic — the incumbent and bound are still correct, but
+	// where the search stopped depends on the machine. Budget with
+	// MaxNodes when reproducibility matters.
+	Timeout time.Duration
+}
+
+// Result is one solve's outcome.
+type Result struct {
+	// Plan is the incumbent — the best full assignment found.
+	Plan turboca.Plan
+	// LogNetP is the incumbent's exact ln NetP.
+	LogNetP float64
+	// Bound is a proven upper bound on the optimal ln NetP: equal to
+	// LogNetP when Proven, possibly larger when the budget exhausted.
+	Bound float64
+	// Proven reports the search ran to completion — LogNetP is the
+	// optimum (within the slack tolerance of bound pruning).
+	Proven bool
+	// Nodes counts expanded search nodes.
+	Nodes int
+}
+
+// Solve finds the (channel, width) assignment maximizing ln NetP over the
+// evaluator's feasibility superset (see turboca.NewEvaluator: everything
+// RunNBO can produce is feasible, so Result.LogNetP ≥ any NBO score on the
+// same input). The input is canonicalized (APs sorted by ID) first, so a
+// permuted AP slice yields a byte-identical plan and bitwise-equal score.
+func Solve(cfg turboca.Config, in turboca.Input, opt Options) Result {
+	in = turboca.CanonicalInput(in)
+	e := turboca.NewEvaluator(cfg, in)
+	n := e.NumAPs()
+
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = DefaultMaxNodes
+	}
+	if maxNodes < 0 {
+		maxNodes = math.MaxInt
+	}
+	s := &solver{
+		e:        e,
+		n:        n,
+		maxNodes: maxNodes,
+		decided:  make([]bool, n),
+		cur:      make([]int, n),
+		contrib:  make([]float64, n),
+		ub:       make([]float64, n),
+		residual: math.Inf(-1),
+	}
+	if opt.Timeout > 0 {
+		s.deadline = time.Now().Add(opt.Timeout)
+		s.hasDeadline = true
+	}
+
+	// Branch order: forced APs (single candidate — the pinned ones) first,
+	// so their contention is visible to every bound below them; then by
+	// neighbor degree (most-constraining first), load (heaviest first),
+	// and index — a fixed total order, part of the determinism contract.
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	sort.SliceStable(s.order, func(x, y int) bool {
+		a, b := s.order[x], s.order[y]
+		fa, fb := len(e.Candidates(a)) == 1, len(e.Candidates(b)) == 1
+		if fa != fb {
+			return fa
+		}
+		da, db := len(e.Neighbors(a)), len(e.Neighbors(b))
+		if da != db {
+			return da > db
+		}
+		la, lb := e.Load(a), e.Load(b)
+		if la != lb {
+			return la > lb
+		}
+		return a < b
+	})
+
+	// Warm-start incumbent: the baseline (every AP on its on-air channel,
+	// never-assigned APs off the air) — the implicit plan RunNBO's
+	// accept-if-better loop scores against. Starting here guarantees
+	// LogNetP ≥ baseline even on immediate budget exhaustion, and every
+	// baseline choice is in the candidate lists by construction.
+	s.bestAssign = make([]int, n)
+	for i := 0; i < n; i++ {
+		s.bestAssign[i] = baselineChoice(e, i)
+		e.Assign(i, s.bestAssign[i])
+	}
+	s.best = e.LogNetP()
+	for i := 0; i < n; i++ {
+		e.Assign(i, turboca.Unassigned)
+	}
+
+	// Initial per-AP optimistic contributions: no contention anywhere.
+	for i := 0; i < n; i++ {
+		s.ub[i] = s.maxNodeP(i)
+	}
+	s.ordBuf = make([][]int, n)
+	s.scBuf = make([][]float64, n)
+	s.undoBuf = make([][]undoEntry, n)
+
+	s.search(0)
+
+	bound := s.best
+	if s.stopped && s.residual > bound {
+		bound = s.residual
+	}
+	for i := 0; i < n; i++ {
+		e.Assign(i, s.bestAssign[i])
+	}
+	return Result{
+		Plan:    e.Plan(),
+		LogNetP: s.best,
+		Bound:   bound,
+		Proven:  !s.stopped,
+		Nodes:   s.nodes,
+	}
+}
+
+// baselineChoice is AP i's assignment in the do-nothing plan.
+func baselineChoice(e *turboca.Evaluator, i int) int {
+	if c := e.OnAir(i); c != turboca.Unassigned {
+		return c
+	}
+	return turboca.Unassigned
+}
+
+// undoEntry restores one refreshed bookkeeping slot on backtrack.
+type undoEntry struct {
+	idx     int
+	val     float64
+	contrib bool // true: contrib[idx]; false: ub[idx]
+}
+
+type solver struct {
+	e *turboca.Evaluator
+	n int
+
+	order   []int
+	decided []bool
+	cur     []int // decided AP -> chosen candidate
+	// contrib[i] (decided) is i's exact ln NodeP under the partial
+	// assignment; ub[i] (undecided) is i's best-case ln NodeP. Both only
+	// shrink as neighbors are assigned (contention is monotone), so
+	// bound() — their sum — is admissible at every node.
+	contrib []float64
+	ub      []float64
+
+	best       float64
+	bestAssign []int
+	// residual accumulates, on budget exhaustion, the largest upper bound
+	// over every subtree the stopped search never entered — folded in at
+	// each unwinding level, so Bound stays a certificate.
+	residual float64
+
+	nodes       int
+	maxNodes    int
+	deadline    time.Time
+	hasDeadline bool
+	stopped     bool
+
+	// Per-depth scratch (recursion is depth-linear, so one buffer per
+	// depth never aliases a live frame).
+	ordBuf  [][]int
+	scBuf   [][]float64
+	undoBuf [][]undoEntry
+}
+
+// bound sums the current admissible per-AP bounds — a fresh O(n) reduction
+// every time, so bookkeeping refreshes cannot accumulate float drift.
+func (s *solver) bound() float64 {
+	sum := 0.0
+	for i := 0; i < s.n; i++ {
+		if s.decided[i] {
+			sum += s.contrib[i]
+		} else {
+			sum += s.ub[i]
+		}
+	}
+	return sum
+}
+
+// maxNodeP is AP i's best-case contribution under the current partial
+// assignment.
+func (s *solver) maxNodeP(i int) float64 {
+	best := math.Inf(-1)
+	for _, c := range s.e.Candidates(i) {
+		if v := s.e.NodeP(i, c); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// apply decides AP i onto candidate c at depth d, refreshing its own
+// contribution and every neighbor's bookkeeping (journaled for undo).
+// Deciding Unassigned adds no contention, so neighbors keep their values.
+func (s *solver) apply(d, i, c int) {
+	s.e.Assign(i, c)
+	s.decided[i] = true
+	s.cur[i] = c
+	s.contrib[i] = s.e.NodeP(i, c)
+	undo := s.undoBuf[d][:0]
+	if c != turboca.Unassigned {
+		for _, j := range s.e.Neighbors(i) {
+			if s.decided[j] {
+				undo = append(undo, undoEntry{idx: j, val: s.contrib[j], contrib: true})
+				s.contrib[j] = s.e.NodeP(j, s.cur[j])
+			} else {
+				undo = append(undo, undoEntry{idx: j, val: s.ub[j]})
+				s.ub[j] = s.maxNodeP(j)
+			}
+		}
+	}
+	s.undoBuf[d] = undo
+}
+
+// undo reverts apply at depth d.
+func (s *solver) undo(d, i int) {
+	for _, u := range s.undoBuf[d] {
+		if u.contrib {
+			s.contrib[u.idx] = u.val
+		} else {
+			s.ub[u.idx] = u.val
+		}
+	}
+	s.decided[i] = false
+	s.e.Assign(i, turboca.Unassigned)
+}
+
+// outOfBudget consults the node and wall-clock budgets. The wall check
+// runs every 1024 nodes (time.Now is not free, and a coarse check only
+// stretches a timeout, never the node budget).
+func (s *solver) outOfBudget() bool {
+	if s.nodes >= s.maxNodes {
+		return true
+	}
+	return s.hasDeadline && s.nodes&1023 == 0 && time.Now().After(s.deadline)
+}
+
+// fold records an upper bound over subtrees the stopped search skipped.
+func (s *solver) fold(v float64) {
+	if v > s.residual {
+		s.residual = v
+	}
+}
+
+// search expands depth d. Candidates are tried in order of their
+// contextual NodeP (stable-sorted, so equal scores keep candidate-list
+// order): the greedy-best child first, which both finds strong incumbents
+// early and makes the sorted cheap bound a valid break condition.
+func (s *solver) search(d int) {
+	if d == s.n {
+		// Leaf: exact full re-sum. Strictly-greater keeps the first-found
+		// optimum on ties — the determinism pin.
+		if sc := s.e.LogNetP(); sc > s.best {
+			s.best = sc
+			s.bestAssign = append(s.bestAssign[:0], s.cur...)
+		}
+		return
+	}
+	i := s.order[d]
+	cands := s.e.Candidates(i)
+	scs := s.scBuf[d][:0]
+	ord := s.ordBuf[d][:0]
+	for k, c := range cands {
+		scs = append(scs, s.e.NodeP(i, c))
+		ord = append(ord, k)
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return scs[ord[a]] > scs[ord[b]] })
+	s.scBuf[d], s.ordBuf[d] = scs, ord
+
+	nodeBound := s.bound()
+	for oi, k := range ord {
+		c := cands[k]
+		// Cheap child bound: swap i's optimistic term for this candidate's
+		// contextual score. An upper bound on the child's real bound, and
+		// non-increasing along the sorted order — the first prune ends the
+		// whole level.
+		cheap := nodeBound - s.ub[i] + scs[k]
+		if cheap <= s.best+slack {
+			return
+		}
+		if s.outOfBudget() {
+			s.stopped = true
+			s.fold(cheap)
+			return
+		}
+		s.nodes++
+		s.apply(d, i, c)
+		// Real child bound: apply refreshed the neighborhood, so this is
+		// tighter than cheap. Recurse only when it can still win.
+		if s.bound() > s.best+slack {
+			s.search(d + 1)
+		}
+		s.undo(d, i)
+		if s.stopped {
+			if oi+1 < len(ord) {
+				// Everything untried at this level is bounded by the next
+				// (sorted) candidate's cheap bound.
+				s.fold(nodeBound - s.ub[i] + scs[ord[oi+1]])
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package turboca
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/spectrum"
+)
+
+// Evaluator exposes the planner's exact NodeP/NetP machinery over dense AP
+// indexes to external exhaustive searchers (internal/oracle). It wraps the
+// same planner NBO evaluates with — same interned channel table, same
+// index-ordered summation — so a score computed here is bitwise comparable
+// to RunNBO's LogNetP and to NetP() on the same (canonically ordered)
+// input.
+//
+// The working state differs from NBO's in one deliberate way: the
+// incumbent layer (planner.current) is cleared, so an AP the caller has
+// not assigned is invisible to its neighbors' airtime instead of appearing
+// on its on-air channel. A branch-and-bound search decides APs one at a
+// time, and "undecided contributes no contention" is exactly the relaxation
+// that makes the per-AP best-case NodeP an admissible (optimistic) bound:
+// later assignments can only add contention, never remove it. The switch
+// penalty still anchors to the real on-air channel (planner.onAir is kept),
+// so leaf scores price moves identically to NBO.
+//
+// An Evaluator is not safe for concurrent use.
+type Evaluator struct {
+	p     *planner
+	cands [][]int
+}
+
+// Unassigned is the Evaluator's channel sentinel for "no channel": as a
+// candidate it is the choice of leaving a never-assigned AP off the air
+// (contributing its NodeP floor, exactly as logNetP scores it), and as an
+// Assign argument it clears a previous assignment.
+const Unassigned = -1
+
+// NewEvaluator builds an evaluator over one band's planning problem. The
+// per-AP candidate lists are a feasibility superset of everything the
+// greedy planners can produce, which is what makes an exhaustive search
+// over them a true upper bound for RunNBO and RunReservedCA (on inputs the
+// latter respects pinning for — it never checks):
+//
+//   - a pinned AP with a valid on-air channel is fixed there, as NBO
+//     pre-assigns it;
+//   - otherwise the band's candidates (DFS-free when the AP has clients,
+//     §4.5.2) filtered by the AP's width capability — ACC's loop;
+//   - the narrowest non-DFS channels when that filter empties — ACC's
+//     last-resort fallback;
+//   - the on-air channel, when valid — ACC's stay-put rule, and the
+//     baseline plan;
+//   - Unassigned, when there is no valid on-air channel — the baseline
+//     state of a never-assigned AP.
+func NewEvaluator(cfg Config, in Input) *Evaluator {
+	p := newPlanner(cfg, in)
+	// Clear the incumbent layer: channelOf must reflect only what the
+	// caller has assigned. onAir is untouched (penalty anchoring).
+	for i := range p.current {
+		p.current[i] = noChan
+	}
+	e := &Evaluator{p: p, cands: make([][]int, len(p.views))}
+	for i, v := range p.views {
+		e.cands[i] = e.buildCandidates(i, v)
+	}
+	return e
+}
+
+// buildCandidates computes one AP's candidate list (see NewEvaluator).
+func (e *Evaluator) buildCandidates(i int, v *APView) []int {
+	p := e.p
+	if v.Pinned && p.onAir[i] != noChan {
+		return []int{int(p.onAir[i])}
+	}
+	base := p.cands
+	if v.HasClients {
+		base = p.candNoDFS
+	}
+	maxW := v.MaxWidth
+	if maxW == 0 {
+		maxW = spectrum.W160
+	}
+	var cs []int
+	for _, c := range base {
+		if p.tbl.chans[c].Width <= maxW {
+			cs = append(cs, int(c))
+		}
+	}
+	if len(cs) == 0 {
+		// ACC's narrowestFallback search space: the best-scoring channel
+		// among the narrowest non-DFS candidates, cap ignored.
+		var minW spectrum.Width
+		for _, c := range p.candNoDFS {
+			if w := p.tbl.chans[c].Width; minW == 0 || w < minW {
+				minW = w
+			}
+		}
+		for _, c := range p.candNoDFS {
+			if p.tbl.chans[c].Width == minW {
+				cs = append(cs, int(c))
+			}
+		}
+	}
+	if cur := p.onAir[i]; cur != noChan {
+		found := false
+		for _, c := range cs {
+			if c == int(cur) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			cs = append(cs, int(cur))
+		}
+	} else {
+		cs = append(cs, Unassigned)
+	}
+	return cs
+}
+
+// NumAPs returns the problem size.
+func (e *Evaluator) NumAPs() int { return len(e.p.views) }
+
+// APID maps a dense index back to the AP's ID.
+func (e *Evaluator) APID(i int) int { return e.p.views[i].ID }
+
+// Load returns an AP's traffic weight.
+func (e *Evaluator) Load(i int) float64 { return e.p.views[i].Load }
+
+// Pinned reports whether the AP is frozen on its current channel.
+func (e *Evaluator) Pinned(i int) bool { return e.p.views[i].Pinned }
+
+// Neighbors returns AP i's dense neighbor indexes. The slice is shared
+// state — callers must not mutate it.
+func (e *Evaluator) Neighbors(i int) []int { return e.p.neigh[i] }
+
+// Candidates returns AP i's channel candidates (interned indexes, possibly
+// ending with Unassigned). The slice is shared state — callers must not
+// mutate it.
+func (e *Evaluator) Candidates(i int) []int { return e.cands[i] }
+
+// OnAir returns the AP's real current channel as an interned index, or
+// Unassigned when it has none.
+func (e *Evaluator) OnAir(i int) int { return int(e.p.onAir[i]) }
+
+// Channel resolves an interned candidate to its spectrum.Channel.
+func (e *Evaluator) Channel(c int) spectrum.Channel { return e.p.tbl.channel(chanIdx(c)) }
+
+// Assign sets AP i's working channel (Unassigned clears it).
+func (e *Evaluator) Assign(i, c int) { e.p.assign[i] = chanIdx(c) }
+
+// NodeP returns ln NodeP(i, c) under the current working assignment: the
+// exact per-AP term logNetP would sum for i if it held channel c. For
+// Unassigned it returns the AP's floor contribution. The working state is
+// left unchanged.
+func (e *Evaluator) NodeP(i, c int) float64 {
+	if c == Unassigned {
+		return e.p.views[i].Load * math.Log(e.p.cfg.MetricFloor)
+	}
+	prev := e.p.assign[i]
+	e.p.assign[i] = chanIdx(c)
+	v := e.p.logNodeP(i, chanIdx(c))
+	e.p.assign[i] = prev
+	return v
+}
+
+// LogNetP returns ln NetP of the working assignment: the full re-sum in
+// dense index order, the same reduction logNetP/NetP use — never a cached
+// or delta path, so bound bookkeeping drift cannot leak into leaf scores.
+func (e *Evaluator) LogNetP() float64 { return e.p.logNetP() }
+
+// Plan snapshots the working assignment as an exported Plan, computing
+// non-DFS fallbacks for DFS assignments exactly as NBO does.
+func (e *Evaluator) Plan() Plan { return e.p.snapshotPlan() }
+
+// CanonicalInput returns in with its APs sorted by ID (a copy; the
+// argument is untouched). Evaluation order — and therefore the low bits of
+// every float summation — follows dense index order, so two callers that
+// canonicalize first agree bitwise no matter how their AP slices were
+// permuted. Neighbor lists are per-AP and unaffected by the sort.
+func CanonicalInput(in Input) Input {
+	out := in
+	out.APs = append([]APView(nil), in.APs...)
+	sort.SliceStable(out.APs, func(a, b int) bool { return out.APs[a].ID < out.APs[b].ID })
+	return out
+}
