@@ -26,9 +26,9 @@ COVER_FLOOR_ORACLE = 85
 # brief live search so verify catches shallow regressions in new code.
 FUZZTIME = 5s
 
-.PHONY: verify vet build test race chaos chaos-kill cover fuzz bench bench-json bench-check gap
+.PHONY: verify vet build test race chaos chaos-kill storm cover fuzz bench bench-json bench-check gap
 
-verify: vet build test race chaos chaos-kill cover fuzz bench-json bench-check
+verify: vet build test race chaos chaos-kill storm cover fuzz bench-json bench-check
 	-$(MAKE) gap
 
 vet:
@@ -68,6 +68,16 @@ chaos:
 chaos-kill:
 	$(GO) test -race -short -run 'TestChaosKillCampaign|TestRestartEquivalence|TestCleanRestart|TestDegraded|TestOpenTruncates|TestOpenRejects|TestPanicQuarantine|TestWatchdog|TestLagDegradation|TestRealSIGKILL' ./internal/fleetd
 
+# Hostile-RF survival campaign under the race detector: the campus storm
+# acceptance run (correlated DFS sweeps + spectrum-trace interference,
+# zero NOP-invariant trips, 10% recovery bound, byte-identical replay),
+# the per-strike NOP semantics tests, the 100-seed no-transmit property,
+# and the fleet-correlated StormRF determinism tests.
+storm:
+	$(GO) test -race -run 'TestStorm|TestInstallChannelRefusesNOP|TestPlannerInputCarriesRF' ./internal/backend
+	$(GO) test -race -run 'TestStormRF|TestStormRadar' ./internal/fleetd
+	$(GO) test -race ./internal/rfenv
+
 # Coverage floor: fails if any of COVER_PKGS drops below COVER_FLOOR%
 # (the fastack package is held to COVER_FLOOR_FASTACK instead).
 cover:
@@ -104,7 +114,8 @@ bench:
 # at 10k networks, plus the adaptive-cadence twin's passes-saved numbers),
 # BENCH_oracle.json (exact-solver latency and node counts at 6/9/12 APs),
 # and BENCH_fastack.json (hot-path segments/sec and allocs/op at 1k and
-# 10k concurrent flows).
+# 10k concurrent flows), and BENCH_rfenv.json (spectrum-trace sampling
+# throughput and storm-recovery planner passes).
 # Non-failing by design — the artifacts are a by-product of verify, not a
 # gate on absolute speed; regressions are judged by a human diffing the
 # JSON, so a slow machine cannot fail the build. bench-check (below)
@@ -114,6 +125,7 @@ bench-json:
 	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^(BenchmarkFleetd10kNetworks|BenchmarkFleetdAdaptiveCadence)$$' -benchtime=1x -timeout 30m ./internal/fleetd
 	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkOracleSolve$$' ./internal/oracle
 	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkAgentHotPath' -benchtime=50000x ./internal/fastack
+	-BENCH_JSON_DIR=$(CURDIR) $(GO) test -run=NONE -bench='^BenchmarkRFEnv$$' -benchtime=1x ./internal/rfenv
 
 # Sanity-check the bench-json artifacts: every required key present and a
 # finite non-negative number. Catches a silently broken emitter without
@@ -123,7 +135,8 @@ bench-check:
 		BENCH_planner.json:ns_per_pass,passes_per_sec,aps \
 		BENCH_fleetd.json:ns_per_pass,passes_per_sec,bytes_per_network,networks,adaptive_passes_saved_pct,adaptive_netp_delta_pct \
 		BENCH_oracle.json:aps_6_ns_per_solve,aps_6_nodes,aps_9_ns_per_solve,aps_9_nodes,aps_12_ns_per_solve,aps_12_nodes \
-		BENCH_fastack.json:flows_1000_segments_per_sec,flows_1000_allocs_per_op,flows_10000_segments_per_sec,flows_10000_allocs_per_op,flows_1000_batched_segments_per_sec
+		BENCH_fastack.json:flows_1000_segments_per_sec,flows_1000_allocs_per_op,flows_10000_segments_per_sec,flows_10000_allocs_per_op,flows_1000_batched_segments_per_sec \
+		BENCH_rfenv.json:trace_samples_per_sec,storm_recovery_passes
 
 # Optimality-gap campaign (advisory, non-failing in verify): the exact
 # branch-and-bound oracle certifies NBO's NetP on every <=12-AP scenario

@@ -49,6 +49,8 @@ func run() int {
 	chaos := flag.Bool("chaos", false, "inject the default chaos fault profile into every network's control path")
 	noSkip := flag.Bool("no-dirty-skip", false, "disable dirty-driven elision of provably no-op fast passes (results are identical either way)")
 	adaptive := flag.Bool("adaptive", false, "churn-driven adaptive cadence: stable networks stretch their schedule up to 8x, volatile ones snap back to base")
+	storm := flag.Bool("storm", false, "hostile RF: fleet-correlated DFS radar storms plus per-network spectrum occupancy traces; struck sub-channels serve a 30-minute non-occupancy period")
+	stormsPerDay := flag.Float64("storms-per-day", 2, "expected correlated radar storms per day (requires -storm)")
 	storeDir := flag.String("store", "", "durability directory (journal + checkpoints); restart replays the journal and resumes where the last process stopped")
 	ckptEvery := flag.Duration("checkpoint-every", time.Hour, "simulated time between periodic checkpoints (requires -store)")
 	passDeadline := flag.Duration("pass-deadline", 0, "wall-clock watchdog per planning pass; a pass exceeding it is cancelled and its network quarantined (0 = off)")
@@ -80,6 +82,8 @@ func run() int {
 		MaxPassesPerTick: *budget,
 		DisableDirtySkip: *noSkip,
 		AdaptiveCadence:  *adaptive,
+		StormRF:          *storm,
+		StormsPerDay:     *stormsPerDay,
 		PassDeadline:     *passDeadline,
 		CheckpointEvery:  sim.Time(ckptEvery.Microseconds()),
 		Backend:          opt,

@@ -22,6 +22,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/oracle"
+	"repro/internal/rfenv"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
@@ -42,6 +43,7 @@ func main() {
 	chaos := flag.Bool("chaos", false, "eval mode: inject the default chaos fault profile (poll loss, delays, corruption, push failures)")
 	pollLoss := flag.Float64("poll-loss", 0, "eval mode: per-AP poll loss probability (overrides -chaos default)")
 	pushFail := flag.Float64("push-fail", 0, "eval mode: per-attempt plan-push failure probability (overrides -chaos default)")
+	rfTrace := flag.Bool("rf-trace", false, "eval mode: drive both algorithms through seeded per-channel spectrum occupancy traces (non-WiFi interference folded into planner inputs)")
 	metricsAddr := flag.String("metrics", "", "serve metrics JSON (/metrics), text (/metrics.txt), span traces (/trace), and net/http/pprof on this address (e.g. localhost:6060) while the run executes")
 	oracleMode := flag.Bool("oracle", false, "one-shot optimality-gap check: exact branch-and-bound vs NBO vs ReservedCA on a small topology")
 	oracleAPs := flag.Int("aps", 9, "oracle mode: topology size (exact solving is practical up to ~12)")
@@ -93,7 +95,7 @@ func main() {
 	case "plan":
 		planOnce(build, *seed, *workers)
 	case "eval":
-		evalAB(build, *days, *seed, *workers, prof, reg)
+		evalAB(build, *days, *seed, *workers, prof, *rfTrace, reg)
 	default:
 		fmt.Fprintln(os.Stderr, "unknown mode:", *mode)
 		os.Exit(2)
@@ -190,7 +192,7 @@ func bar(n int) string {
 	return string(b)
 }
 
-func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int, prof *faults.Profile, reg *obs.Registry) {
+func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int, prof *faults.Profile, rfTrace bool, reg *obs.Registry) {
 	d := sim.Time(days) * sim.Day
 	type result struct {
 		alg      string
@@ -205,6 +207,12 @@ func evalAB(build func(int64) *topo.Scenario, days int, seed int64, workers int,
 		opt := backend.DefaultOptions(alg)
 		opt.Planner.Workers = workers
 		opt.Faults = prof
+		if rfTrace {
+			// Fresh Env per algorithm: the traces replay identically from
+			// the seed, while the (mutable) quarantine state stays private.
+			opt.RF = rfenv.NewEnv(
+				rfenv.NewTraceSet(seed, rfenv.Default5GHzChannels(), rfenv.DefaultTraceOptions()), nil)
+		}
 		// Control() is read immediately after each run, before the next
 		// backend is built, so the shared serving registry still yields
 		// exact per-instance deltas.

@@ -26,6 +26,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/littletable"
 	"repro/internal/obs"
+	"repro/internal/rfenv"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
@@ -80,6 +81,14 @@ type Options struct {
 	// RadarEventsPerDay injects DFS radar detections across the network
 	// at this mean rate (0 disables; see radar.go).
 	RadarEventsPerDay float64
+
+	// RF, when non-nil, attaches a hostile-RF environment: spectrum-trace
+	// interference sampled into every 5 GHz planner input, scheduled
+	// correlated radar storms, and the non-occupancy quarantine table
+	// every channel decision (planner candidates, radar fallbacks, plan
+	// pushes) is checked against. Each backend needs its own Env — the
+	// quarantine is per-network mutable state (see internal/rfenv).
+	RF *rfenv.Env
 
 	// Faults, when non-nil, threads a deterministic fault injector
 	// through the backend↔AP control path (see internal/faults).
@@ -211,6 +220,11 @@ type ControlStats struct {
 
 	StaleViews  int // planner views built from decayed last-known-good data
 	PinnedViews int // planner views pinned to their current channel
+
+	RadarStorms         int // correlated radar-storm sweeps fired
+	RadarStrikes        int // APs vacated off a struck channel
+	NOPBlockedFallbacks int // planner fallbacks rejected: quarantined at use time
+	NOPViolations       int // invariant trips: a transmission inside an active NOP window (must stay 0)
 }
 
 // Backend drives one scenario under one algorithm.
@@ -224,6 +238,7 @@ type Backend struct {
 
 	rng             *rand.Rand
 	faults          *faults.Injector
+	rf              *rfenv.Env // Opt.RF; nil when no hostile-RF layer
 	switches        int
 	radarHit        int
 	disruptionTotal float64
@@ -290,6 +305,7 @@ func New(opt Options, sc *topo.Scenario, engine *sim.Engine) *Backend {
 		DB:        littletable.NewDB(),
 		rng:       sim.NewRNG(opt.Seed),
 		faults:    faults.New(opt.Faults),
+		rf:        opt.RF,
 		fallbacks: map[int]spectrum.Channel{},
 		reports:   map[int]*apReport{},
 		intended:  map[spectrum.Band]map[int]turboca.Assignment{},
@@ -340,6 +356,10 @@ func (b *Backend) StartManaged() {
 // Switches reports how many AP channel changes the service has applied.
 func (b *Backend) Switches() int { return b.switches }
 
+// RF exposes the hostile-RF environment this backend runs under (nil
+// when none was configured).
+func (b *Backend) RF() *rfenv.Env { return b.rf }
+
 // SetPassContext installs the cancellation context the control loops
 // check. Pass nil (or context.Background()) to clear supervision. The
 // engine events already queued keep firing; a cancelled context makes
@@ -384,6 +404,19 @@ func (b *Backend) PlannerInput(band spectrum.Band) turboca.Input {
 	in := turboca.Input{Band: band, AllowDFS: b.Opt.AllowDFS, MaxWidth: spectrum.W80}
 	if band == spectrum.Band2G4 {
 		in.MaxWidth = spectrum.W20
+	}
+	if b.rf != nil && band == spectrum.Band5 {
+		// Hostile-RF overlays, sampled at snapshot time: the active NOP
+		// set (fresh maps each call — the planner and the digest may
+		// outlive this poll window) and the spectrum trace's current
+		// occupancy. Both are folded into Input.Digest, so a quarantine
+		// starting or expiring dirties an otherwise-skippable fast pass.
+		if b.rf.Q != nil {
+			in.Blocked = b.rf.Q.BlockedSet(now)
+		}
+		if b.rf.Traces != nil {
+			in.ChannelNoise = b.rf.Traces.NoiseMap(now)
+		}
 	}
 	perf := b.Model.Evaluate(now)
 	in.APs = append([]turboca.APView(nil), b.inputTemplate(band, in.MaxWidth)...)

@@ -40,6 +40,11 @@ type ctlMetrics struct {
 	ctxAborts       *obs.Counter
 	retryCapHits    *obs.Counter
 
+	radarStorms         *obs.Counter
+	radarStrikes        *obs.Counter
+	nopBlockedFallbacks *obs.Counter
+	nopViolations       *obs.Counter
+
 	pollPassUS      *obs.Histogram
 	reconcilePassUS *obs.Histogram
 	pollAgeUS       *obs.Histogram
@@ -64,11 +69,16 @@ func ctlMetricsOn(reg *obs.Registry) *ctlMetrics {
 		pinnedViews:     s.Counter("pinned_views"),
 		ctxAborts:       s.Counter("ctx_aborts"),
 		retryCapHits:    s.Counter("retry_cap_hits"),
-		pollPassUS:      s.Histogram("poll_pass_us", "µs"),
-		reconcilePassUS: s.Histogram("reconcile_pass_us", "µs"),
-		pollAgeUS:       s.Histogram("poll_age_us", "simµs"),
-		pollDelayUS:     s.Histogram("poll_delay_us", "simµs"),
-		pushDelayUS:     s.Histogram("push_delay_us", "simµs"),
+
+		radarStorms:         s.Counter("radar_storms"),
+		radarStrikes:        s.Counter("radar_strikes"),
+		nopBlockedFallbacks: s.Counter("nop_blocked_fallbacks"),
+		nopViolations:       s.Counter("nop_violations"),
+		pollPassUS:          s.Histogram("poll_pass_us", "µs"),
+		reconcilePassUS:     s.Histogram("reconcile_pass_us", "µs"),
+		pollAgeUS:           s.Histogram("poll_age_us", "simµs"),
+		pollDelayUS:         s.Histogram("poll_delay_us", "simµs"),
+		pushDelayUS:         s.Histogram("push_delay_us", "simµs"),
 	}
 }
 
@@ -87,6 +97,11 @@ func (m *ctlMetrics) read() ControlStats {
 		Reconciliations: int(m.reconciliations.Value()),
 		StaleViews:      int(m.staleViews.Value()),
 		PinnedViews:     int(m.pinnedViews.Value()),
+
+		RadarStorms:         int(m.radarStorms.Value()),
+		RadarStrikes:        int(m.radarStrikes.Value()),
+		NOPBlockedFallbacks: int(m.nopBlockedFallbacks.Value()),
+		NOPViolations:       int(m.nopViolations.Value()),
 	}
 }
 
@@ -106,5 +121,10 @@ func (s ControlStats) sub(o ControlStats) ControlStats {
 		Reconciliations: s.Reconciliations - o.Reconciliations,
 		StaleViews:      s.StaleViews - o.StaleViews,
 		PinnedViews:     s.PinnedViews - o.PinnedViews,
+
+		RadarStorms:         s.RadarStorms - o.RadarStorms,
+		RadarStrikes:        s.RadarStrikes - o.RadarStrikes,
+		NOPBlockedFallbacks: s.NOPBlockedFallbacks - o.NOPBlockedFallbacks,
+		NOPViolations:       s.NOPViolations - o.NOPViolations,
 	}
 }

@@ -121,8 +121,19 @@ func (b *Backend) scheduleRetry(ap *topo.AP, band spectrum.Band, attempt int, ch
 
 // installChannel applies an assignment to the AP, charging switch
 // disruption and invalidating the model when the channel actually
-// changes.
+// changes. This is the last gate before an AP transmits on a channel,
+// and therefore the mechanical guarantee behind the NOP invariant: a
+// quarantined 5 GHz assignment is refused outright. The upstream layers
+// (planner candidate filtering, strike-time intent retargeting) should
+// make this unreachable — any refusal is counted as a violation attempt
+// and the storm campaign asserts the count stays zero. The intent map is
+// left alone: the reconciler retries after expiry unless a newer plan
+// supersedes it first.
 func (b *Backend) installChannel(ap *topo.AP, band spectrum.Band, a turboca.Assignment) {
+	if band == spectrum.Band5 && b.rf != nil && b.rf.Q.Blocked(a.Channel, b.Engine.Now()) {
+		b.ctl.nopViolations.Inc()
+		return
+	}
 	changed := false
 	if band == spectrum.Band2G4 {
 		if ap.Channel24 != a.Channel {

@@ -1,37 +1,69 @@
 package backend
 
 import (
+	"repro/internal/rfenv"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
+	"repro/internal/topo"
 	"repro/internal/turboca"
 )
 
 // DFS radar handling (§4.5.2): operation on a DFS channel requires
 // vacating immediately when radar is detected, and TurboCA therefore
-// maintains a non-DFS fallback for every DFS assignment. The backend
-// injects radar events at a configurable rate and performs the fallback
-// switch the moment one fires; the regular planning cadence then
-// re-optimizes from the new state.
+// maintains a non-DFS fallback for every DFS assignment. Two injection
+// shapes exist:
+//
+//   - RadarEventsPerDay draws uncorrelated single detections — one AP at
+//     a time, the paper's per-AP model;
+//   - Options.RF schedules correlated radar storms (rfenv.Storm): one
+//     sweep strikes a whole DFS frequency range, so every AP whose
+//     bonded channel touches it vacates in the same instant.
+//
+// When a hostile-RF environment is attached, every detection also
+// starts the regulatory 30-minute non-occupancy period on the covered
+// 20 MHz sub-channels. The quarantine is enforced at three layers —
+// planner candidate generation (Input.Blocked), fallback selection
+// (fallbackFor, below), and plan installation (push.go's installChannel
+// guard) — and audited by a periodic sweep (checkNOP) that counts any
+// AP caught transmitting inside an active window as an invariant
+// violation. The storm campaign asserts that count stays zero.
 
-// radarCheckInterval is how often the injector draws for events.
+// radarCheckInterval is how often the injector draws for events (and,
+// under an RF env, how often the NOP invariant sweep runs).
 const radarCheckInterval = 15 * sim.Minute
 
-// startRadar installs the injector when the options enable it.
+// startRadar installs the radar machinery: the random injector when
+// RadarEventsPerDay enables it, the scheduled storms and the invariant
+// sweep when an RF environment is attached.
 func (b *Backend) startRadar() {
-	if b.Opt.RadarEventsPerDay <= 0 {
+	random := b.Opt.RadarEventsPerDay > 0
+	if random || b.rf != nil {
+		perCheck := b.Opt.RadarEventsPerDay * radarCheckInterval.Seconds() / sim.Day.Seconds()
+		b.Engine.Ticker(radarCheckInterval, func(e *sim.Engine) {
+			if random && b.rng.Float64() < perCheck {
+				b.radarEvent()
+			}
+			b.checkNOP()
+		})
+	}
+	if b.rf == nil {
 		return
 	}
-	perCheck := b.Opt.RadarEventsPerDay * radarCheckInterval.Seconds() / sim.Day.Seconds()
-	b.Engine.Ticker(radarCheckInterval, func(e *sim.Engine) {
-		if b.rng.Float64() >= perCheck {
-			return
+	now := b.Engine.Now()
+	for _, s := range b.rf.Storms {
+		if s.At <= now {
+			continue
 		}
-		b.radarEvent()
-	})
+		storm := s
+		b.Engine.After(storm.At-now, func(e *sim.Engine) { b.radarStorm(storm) })
+	}
 }
 
-// radarEvent picks a random AP operating on a DFS channel and forces the
-// fallback move.
+// radarEvent picks a random AP operating on a DFS channel and injects a
+// detection there. Without an RF environment this vacates just that AP
+// (the legacy uncorrelated model, rng-compatible with it); with one, the
+// detection quarantines the channel's sub-channels, which vacates every
+// co-channel AP too — radar does not strike one AP, it strikes spectrum.
 func (b *Backend) radarEvent() {
 	var onDFS []int
 	for i, ap := range b.Scenario.APs {
@@ -44,35 +76,145 @@ func (b *Backend) radarEvent() {
 	}
 	ap := b.Scenario.APs[onDFS[b.rng.Intn(len(onDFS))]]
 	b.radarHit++
+	if b.rf != nil {
+		b.strike(ap.Channel.Sub20Numbers())
+		return
+	}
+	b.vacate(ap)
+	b.Model.Invalidate()
+}
 
-	fb, ok := b.fallbacks[ap.ID]
-	if !ok || fb.Width == 0 || fb.DFS {
-		// No planner-provided fallback (e.g. the initial plan): take the
-		// first non-DFS channel at the AP's width, narrowing if needed.
-		w := ap.Channel.Width
-		for {
-			if cands := spectrum.Channels(spectrum.Band5, w, false); len(cands) > 0 {
-				fb = cands[b.rng.Intn(len(cands))]
-				break
+// radarStorm fires one correlated sweep from the RF environment's
+// schedule: quarantine the struck range and vacate everything on it.
+func (b *Backend) radarStorm(s rfenv.Storm) {
+	b.radarHit++
+	b.ctl.radarStorms.Inc()
+	b.strike(s.Subs())
+}
+
+// strike starts the NOP on the given 20 MHz sub-channels and walks the
+// network in Scenario.APs order: any AP on the air inside the struck
+// range is vacated immediately, and any in-flight intended assignment
+// pointing into it is retargeted so push retries and the reconciler
+// cannot re-push a quarantined channel during its NOP window.
+func (b *Backend) strike(subs []int) {
+	if len(subs) == 0 {
+		return
+	}
+	now := b.Engine.Now()
+	b.rf.Q.Strike(subs, now)
+	struck := make(map[int]bool, len(subs))
+	for _, s := range subs {
+		struck[s] = true
+	}
+	touches := func(c spectrum.Channel) bool {
+		if c.Band != spectrum.Band5 || !c.Width.Valid() {
+			return false
+		}
+		for _, s := range c.Sub20Numbers() {
+			if struck[s] {
+				return true
 			}
-			w /= 2
-			if !w.Valid() {
-				fb, _ = spectrum.ChannelAt(spectrum.Band5, 36, spectrum.W20)
-				break
+		}
+		return false
+	}
+	intended := b.intended[spectrum.Band5]
+	moved := false
+	for _, ap := range b.Scenario.APs {
+		switch {
+		case touches(ap.Channel):
+			b.ctl.radarStrikes.Inc()
+			b.vacate(ap)
+			moved = true
+		case intended != nil:
+			if a, ok := intended[ap.ID]; ok && touches(a.Channel) {
+				// The AP is not on the struck range but a pending push would
+				// put it there (a retry or reconcile in flight).
+				intended[ap.ID] = turboca.Assignment{Channel: b.fallbackFor(ap)}
 			}
 		}
 	}
+	if moved {
+		b.Model.Invalidate()
+	}
+}
+
+// vacate moves ap off its current channel onto a quarantine-safe
+// fallback and makes that the plan of record — otherwise the reconciler
+// would immediately push it back onto the radar channel.
+func (b *Backend) vacate(ap *topo.AP) {
+	fb := b.fallbackFor(ap)
 	ap.Channel = fb
 	b.switches++
-	// The fallback is now the plan of record for this AP — otherwise the
-	// reconciler would immediately push it back onto the radar channel.
 	if m := b.intended[spectrum.Band5]; m != nil {
 		if _, ok := m[ap.ID]; ok {
 			m[ap.ID] = turboca.Assignment{Channel: fb}
 		}
 	}
-	b.Model.Invalidate()
 }
 
-// RadarEvents reports how many radar hits were injected.
+// fallbackFor selects the channel an AP falls back to after a radar hit:
+// the planner-provided non-DFS fallback when it exists and is not itself
+// quarantined (a fallback computed before this strike can point straight
+// into it — the NOPBlockedFallbacks counter tracks how often), otherwise
+// a random non-DFS channel outside every active NOP window at the AP's
+// width, narrowing until one exists.
+func (b *Backend) fallbackFor(ap *topo.AP) spectrum.Channel {
+	now := b.Engine.Now()
+	blocked := func(c spectrum.Channel) bool {
+		return b.rf != nil && b.rf.Q.Blocked(c, now)
+	}
+	if fb, ok := b.fallbacks[ap.ID]; ok && fb.Width != 0 && !fb.DFS {
+		if !blocked(fb) {
+			return fb
+		}
+		b.ctl.nopBlockedFallbacks.Inc()
+	}
+	w := ap.Channel.Width
+	if !w.Valid() {
+		w = spectrum.W20
+	}
+	for {
+		cands := spectrum.Channels(spectrum.Band5, w, false)
+		kept := cands[:0]
+		for _, c := range cands {
+			if !blocked(c) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) > 0 {
+			return kept[b.rng.Intn(len(kept))]
+		}
+		w /= 2
+		if !w.Valid() {
+			// Non-DFS channels cannot be radar-quarantined, so this is
+			// unreachable under radar strikes; kept as the deterministic
+			// floor for malformed widths.
+			fb, _ := spectrum.ChannelAt(spectrum.Band5, 36, spectrum.W20)
+			return fb
+		}
+	}
+}
+
+// checkNOP audits the no-transmit-during-NOP invariant: with strikes
+// enforced at planning, fallback, and install time, no AP should ever be
+// found on a quarantined channel. Any hit here is a real bug, surfaced
+// as a counter the storm campaign asserts to be zero.
+func (b *Backend) checkNOP() {
+	if b.rf == nil {
+		return
+	}
+	now := b.Engine.Now()
+	if b.rf.Q.Active(now) == 0 {
+		return
+	}
+	for _, ap := range b.Scenario.APs {
+		if b.rf.Q.Blocked(ap.Channel, now) {
+			b.ctl.nopViolations.Inc()
+		}
+	}
+}
+
+// RadarEvents reports how many radar detections were injected (single
+// events and storm sweeps both count once).
 func (b *Backend) RadarEvents() int { return b.radarHit }

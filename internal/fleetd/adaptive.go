@@ -68,7 +68,7 @@ func (c *Controller) adaptObserve(t sim.Time, j *passJob, res *passResult) {
 	ns.lastNP5, ns.lastNP24 = res.logNetP5, res.logNetP24
 	ns.ewma = adaptAlpha*rel + (1-adaptAlpha)*ns.ewma
 
-	if res.improved > 0 || ns.ewma > adaptVolatileEWMA {
+	if res.improved > 0 || res.radar > 0 || ns.ewma > adaptVolatileEWMA {
 		ns.calm = 0
 		if ns.mult > 1 {
 			ns.mult = 1

@@ -35,6 +35,7 @@ package fleetd
 import (
 	"errors"
 	"hash/fnv"
+	"math"
 	"runtime"
 	"sort"
 	"strconv"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/littletable"
 	"repro/internal/obs"
+	"repro/internal/rfenv"
 	"repro/internal/sim"
 	"repro/internal/spectrum"
 	"repro/internal/topo"
@@ -82,8 +84,8 @@ type Config struct {
 	// AdaptiveCadence enables the churn-driven cadence controller (see
 	// adaptive.go): networks whose NetP has stopped moving stretch their
 	// schedule by doubling steps up to 8x the base cadence, and any sign
-	// of volatility (a planner improvement, or NetP churn above the EWMA
-	// threshold) snaps them back to 1x and pulls their pending deadlines
+	// of volatility (a planner improvement, a radar detection, or NetP
+	// churn above the EWMA threshold) snaps them back to 1x and pulls their pending deadlines
 	// forward. Off by default; snapshots remain byte-identical across
 	// shard/worker settings either way, but an adaptive fleet's snapshot
 	// differs from a fixed-cadence fleet's (fewer passes run), so the flag
@@ -125,6 +127,19 @@ type Config struct {
 	// failures, torn journal tails, pass panics and wedges) for the
 	// crash-safety campaign. Nil means no injected process faults.
 	Proc *faults.ProcProfile
+	// StormRF attaches a hostile-RF environment to every network: seeded
+	// per-20MHz spectrum-occupancy traces (private to each network, derived
+	// from its network seed) plus one fleet-correlated radar-storm schedule
+	// derived from Seed alone — a storm strikes every network's copy of the
+	// struck DFS range in the same instant, so the whole fleet sees the
+	// quarantine within one cadence window. Off by default; folded into the
+	// config digest because it changes state bytes.
+	StormRF bool
+	// StormsPerDay is the mean correlated-storm arrival rate when StormRF
+	// is on (default 2 per day; Poisson arrivals).
+	StormsPerDay float64
+	// StormHorizon bounds the generated storm schedule (default 7 days).
+	StormHorizon sim.Time
 }
 
 // withDefaults resolves the zero values.
@@ -158,6 +173,14 @@ func (c Config) withDefaults() Config {
 	if c.Retention == 0 {
 		c.Retention = 24 * sim.Hour
 	}
+	if c.StormRF {
+		if c.StormsPerDay == 0 {
+			c.StormsPerDay = 2
+		}
+		if c.StormHorizon == 0 {
+			c.StormHorizon = 7 * sim.Day
+		}
+	}
 	return c
 }
 
@@ -183,6 +206,11 @@ func (c Config) digest() uint64 {
 	}
 	if c.AdaptiveCadence {
 		wr(1)
+	} else {
+		wr(0)
+	}
+	if c.StormRF {
+		wr(1, int64(math.Float64bits(c.StormsPerDay)), int64(c.StormHorizon))
 	} else {
 		wr(0)
 	}
@@ -276,6 +304,11 @@ type Controller struct {
 	met   *metrics
 
 	// Durability (nil store = ephemeral controller, PR 1-6 behavior).
+	// storms is the fleet-correlated radar schedule (Config.StormRF),
+	// derived from cfg.Seed alone and shared read-only by every network's
+	// RF environment — correlation is the point.
+	storms []rfenv.Storm
+
 	store        Store
 	seq          int          // last journal sequence number written or replayed
 	replay       *replayState // non-nil while Open replays; nil once live
@@ -295,6 +328,9 @@ func New(cfg Config) *Controller {
 	c := &Controller{cfg: cfg, db: littletable.NewDB(), met: metricsOn(cfg.Obs)}
 	c.proc = faults.NewProc(cfg.Proc)
 	c.wallNow = time.Now
+	if cfg.StormRF {
+		c.storms = rfenv.StormSchedule(cfg.Seed, cfg.StormHorizon, cfg.StormsPerDay)
+	}
 	if cfg.CheckpointEvery > 0 {
 		c.nextCkptAt = cfg.CheckpointEvery
 	}
@@ -454,6 +490,14 @@ func (c *Controller) buildNet(n *fleet.Network, opt NetOptions) *netState {
 	ns.build = func() {
 		ns.sc = buildScenario(n, seed)
 		ns.engine = sim.NewEngineCompact(seed ^ 0x0e1f)
+		if c.cfg.StormRF {
+			// The Env is per network (the quarantine table is mutable
+			// control-plane state) but the storm schedule is the
+			// controller's shared, fleet-correlated one; only the
+			// interference traces derive from the network seed.
+			traces := rfenv.NewTraceSet(seed^0x7f5e, rfenv.Default5GHzChannels(), rfenv.DefaultTraceOptions())
+			bopt.RF = rfenv.NewEnv(traces, c.storms)
+		}
 		ns.be = backend.New(bopt, ns.sc, ns.engine)
 		ns.be.StartManaged()
 	}
@@ -574,6 +618,11 @@ type passResult struct {
 	// accepted a strictly better plan — the adaptive controller's
 	// volatility signal.
 	improved int
+	// radar counts radar detections (single events or storm sweeps) the
+	// network absorbed since its previous pass. Storm-driven vacates are
+	// churn by definition, so the adaptive controller treats any nonzero
+	// value as volatility even before NetP movement shows up.
+	radar int
 	// skipped counts band-invocations within this pass the planning
 	// service elided as provable no-ops (dirty-skip). Observability only:
 	// a skipped invocation leaves every planner-visible byte identical to
@@ -838,12 +887,14 @@ func (c *Controller) runTick(t sim.Time, due []passEntry) error {
 func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
 	ns := j.ns
 	ns.ensureBuilt()
+	radarBefore := ns.be.RadarEvents()
 	ns.engine.RunUntil(t)
 	skipBefore := ns.be.Service.SkippedTotal
 	impBefore := ns.be.Service.ImprovedTotal
 	ns.be.Service.RunOnce(levelHops[j.level])
 	skipped := ns.be.Service.SkippedTotal - skipBefore
 	improved := ns.be.Service.ImprovedTotal - impBefore
+	radar := ns.be.RadarEvents() - radarBefore
 
 	logNetP5 := ns.be.Service.LastLogNetP[spectrum.Band5]
 	converged := 0.0
@@ -855,6 +906,7 @@ func (c *Controller) executePass(t sim.Time, j *passJob) *passResult {
 		logNetP5:  logNetP5,
 		logNetP24: logNetP24,
 		improved:  improved,
+		radar:     radar,
 		skipped:   skipped,
 		passRow: littletable.Row{At: t, Fields: map[string]float64{
 			"lognetp5":  logNetP5,

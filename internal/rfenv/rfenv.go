@@ -1,0 +1,139 @@
+// Package rfenv models a hostile RF environment for the control-plane
+// simulation: WACA-style per-channel occupancy traces (bursty,
+// heavy-tailed non-WiFi energy, deterministic per (seed, channel)),
+// correlated DFS radar storms that clear whole frequency ranges in one
+// sweep, and the regulatory non-occupancy quarantine a radar detection
+// imposes on every covered 20 MHz sub-channel.
+//
+// The package is pure environment state — it schedules nothing itself.
+// The backend samples Traces into each planner input, fires Storms from
+// its engine, and consults the Quarantine at every point a channel could
+// be assigned (planner candidates, radar fallbacks, plan pushes).
+package rfenv
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// NOPDuration is the FCC non-occupancy period: after a radar detection,
+// every covered 20 MHz sub-channel must stay silent for 30 minutes.
+const NOPDuration = 30 * sim.Minute
+
+// Env bundles the hostile-RF state for one network. Traces and Storms
+// are optional (nil/empty disables them); Q is always present so strike
+// handling never needs a nil check. An Env is engine-affine state like
+// the backend that owns it: not safe for concurrent use.
+type Env struct {
+	Traces *TraceSet
+	Storms []Storm
+	Q      *Quarantine
+}
+
+// NewEnv assembles an environment around an always-present quarantine
+// table. storms must be sorted by At ascending (StormSchedule's output
+// already is).
+func NewEnv(traces *TraceSet, storms []Storm) *Env {
+	return &Env{Traces: traces, Storms: storms, Q: NewQuarantine()}
+}
+
+// Quarantine is the non-occupancy table: 20 MHz sub-channel number to
+// NOP expiry instant. A sub-channel is blocked for t in
+// [strike, strike+NOPDuration) and free again exactly at expiry.
+type Quarantine struct {
+	expiry map[int]sim.Time
+}
+
+// NewQuarantine returns an empty table.
+func NewQuarantine() *Quarantine {
+	return &Quarantine{expiry: make(map[int]sim.Time)}
+}
+
+// Strike starts (or extends) a NOP on every listed sub-channel.
+func (q *Quarantine) Strike(subs []int, at sim.Time) {
+	for _, s := range subs {
+		if e := at + NOPDuration; e > q.expiry[s] {
+			q.expiry[s] = e
+		}
+	}
+}
+
+// SubBlocked reports whether 20 MHz sub-channel n is inside an active
+// NOP window at time t.
+func (q *Quarantine) SubBlocked(n int, t sim.Time) bool {
+	return q.expiry[n] > t
+}
+
+// Blocked reports whether any 20 MHz sub-channel covered by c is inside
+// an active NOP window — quarantine propagates to every bonded channel
+// that touches a struck sub-channel. Only 5 GHz channels can be radar
+// quarantined; other bands are never blocked.
+func (q *Quarantine) Blocked(c spectrum.Channel, t sim.Time) bool {
+	if c.Band != spectrum.Band5 || len(q.expiry) == 0 {
+		return false
+	}
+	if !c.Width.Valid() {
+		return q.SubBlocked(c.Number, t)
+	}
+	for _, s := range c.Sub20Numbers() {
+		if q.SubBlocked(s, t) {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockedSet returns the sub-channel numbers under an active NOP at t as
+// a set, or nil when none are. Expired entries are dropped from the
+// table on the way, bounding its size to one storm's worth of strikes.
+func (q *Quarantine) BlockedSet(t sim.Time) map[int]bool {
+	var out map[int]bool
+	for s, e := range q.expiry {
+		if e <= t {
+			delete(q.expiry, s)
+			continue
+		}
+		if out == nil {
+			out = make(map[int]bool)
+		}
+		out[s] = true
+	}
+	return out
+}
+
+// Active counts sub-channels under an active NOP at t.
+func (q *Quarantine) Active(t sim.Time) int {
+	n := 0
+	for _, e := range q.expiry {
+		if e > t {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveSubs lists the quarantined sub-channel numbers at t, sorted.
+func (q *Quarantine) ActiveSubs(t sim.Time) []int {
+	var out []int
+	for s, e := range q.expiry {
+		if e > t {
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Default5GHzChannels returns the 20 MHz channel numbers a trace set
+// covers by default: all 25 US 5 GHz channels (the 24 bondable ones plus
+// ch 165).
+func Default5GHzChannels() []int {
+	chans := spectrum.Channels(spectrum.Band5, spectrum.W20, true)
+	out := make([]int, len(chans))
+	for i, c := range chans {
+		out[i] = c.Number
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package rfenv
+
+import (
+	"repro/internal/sim"
+	"repro/internal/spectrum"
+)
+
+// Radar storms. A weather-radar sweep is not a per-AP event: every AP
+// whose bonded channel touches the swept frequency range detects it in
+// the same cadence window. A Storm therefore names a frequency range,
+// and the backend strikes every covered DFS sub-channel at once —
+// vacating every AP on them and quarantining the range for NOPDuration.
+
+// Storm is one correlated sweep: at At, radar appears across the 20 MHz
+// DFS sub-channels numbered LowSub..HighSub inclusive.
+type Storm struct {
+	At      sim.Time
+	LowSub  int
+	HighSub int
+}
+
+// Subs lists the struck DFS 20 MHz sub-channel numbers, ascending.
+// Non-DFS numbers inside the range are skipped — radar detection only
+// exists on DFS channels.
+func (s Storm) Subs() []int {
+	var out []int
+	for n := s.LowSub; n <= s.HighSub; n += 4 {
+		if spectrum.IsDFS20(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// RadarBands are the contiguous DFS ranges a single sweep covers: the
+// two halves of U-NII-2C split around the weather-radar sub-band, and
+// U-NII-2A. A storm strikes one of these wholesale.
+var RadarBands = [][2]int{
+	{52, 64},   // U-NII-2A
+	{100, 112}, // U-NII-2C lower
+	{116, 128}, // U-NII-2C terminal-doppler weather radar range
+	{132, 144}, // U-NII-2C upper
+}
+
+// StormSchedule generates a deterministic storm timeline: Poisson
+// arrivals at perDay sweeps per day over [0, horizon), each striking one
+// RadarBands entry. The schedule depends only on (seed, horizon,
+// perDay), so a fleet controller can hand the same slice to every
+// network and the whole fleet is struck at the same instants — the
+// correlated-hostility case uncorrelated per-AP injection cannot model.
+func StormSchedule(seed int64, horizon sim.Time, perDay float64) []Storm {
+	if perDay <= 0 || horizon <= 0 {
+		return nil
+	}
+	rng := sim.NewRNG(seed ^ 0x5707_2a2a)
+	mean := float64(sim.Day) / perDay
+	var out []Storm
+	t := sim.Time(0)
+	for {
+		t += sim.Time(rng.ExpFloat64() * mean)
+		if t >= horizon {
+			return out
+		}
+		band := RadarBands[rng.Intn(len(RadarBands))]
+		out = append(out, Storm{At: t, LowSub: band[0], HighSub: band[1]})
+	}
+}

@@ -1,12 +1,15 @@
 // Package spectrum models the unlicensed spectrum available to 802.11
-// devices in the United States: the 2.4 GHz ISM band and the 5 GHz U-NII
-// bands, including channel bonding (40/80/160 MHz), Dynamic Frequency
-// Selection (DFS) restrictions, and channel overlap computation.
+// devices in the United States: the 2.4 GHz ISM band, the 5 GHz U-NII
+// bands, and the 6 GHz U-NII-5/-7 bands, including channel bonding
+// (40/80/160 MHz), Dynamic Frequency Selection (DFS) restrictions, and
+// channel overlap computation.
 //
-// The channel inventory matches Section 4.1.1 of the paper: twenty-five
-// 20 MHz, twelve 40 MHz, six 80 MHz and two 160 MHz channels at 5 GHz, of
-// which only nine/four/two/zero are usable without DFS certification; and
-// three non-overlapping channels at 2.4 GHz.
+// The 5 GHz channel inventory matches Section 4.1.1 of the paper:
+// twenty-five 20 MHz, twelve 40 MHz, six 80 MHz and two 160 MHz channels,
+// of which only nine/four/two/zero are usable without DFS certification;
+// plus three non-overlapping channels at 2.4 GHz. The 6 GHz inventory
+// covers the two US standard-power ranges (U-NII-5, 5.925-6.425 GHz, and
+// U-NII-7, 6.525-6.875 GHz); no 6 GHz channel requires DFS.
 package spectrum
 
 import "fmt"
@@ -19,6 +22,8 @@ const (
 	Band2G4 Band = iota
 	// Band5 is the 5 GHz U-NII band.
 	Band5
+	// Band6 is the 6 GHz band (US standard-power: U-NII-5 and U-NII-7).
+	Band6
 )
 
 func (b Band) String() string {
@@ -27,6 +32,8 @@ func (b Band) String() string {
 		return "2.4GHz"
 	case Band5:
 		return "5GHz"
+	case Band6:
+		return "6GHz"
 	default:
 		return fmt.Sprintf("Band(%d)", int(b))
 	}
@@ -75,8 +82,11 @@ func (c Channel) String() string {
 
 // CenterMHz returns the channel's center frequency in MHz.
 func (c Channel) CenterMHz() float64 {
-	if c.Band == Band2G4 {
+	switch c.Band {
+	case Band2G4:
 		return 2407 + 5*float64(c.Number)
+	case Band6:
+		return 5950 + 5*float64(c.Number)
 	}
 	return 5000 + 5*float64(c.Number)
 }
@@ -104,7 +114,7 @@ func (c Channel) Sub20Numbers() []int {
 		return []int{c.Number}
 	}
 	n := int(c.Width) / 20
-	// 20 MHz neighbours at 5 GHz are 4 channel numbers apart.
+	// 20 MHz neighbours at 5 and 6 GHz are 4 channel numbers apart.
 	first := c.Number - 2*(n-1)
 	out := make([]int, n)
 	for i := range out {
@@ -138,6 +148,24 @@ var (
 	NonOverlapping24 = []int{1, 6, 11}
 )
 
+// 6 GHz US standard-power channels: U-NII-5 (ch 1-93) and U-NII-7
+// (ch 117-181). The two ranges are disjoint — the U-NII-6 gap between
+// them is low-power-indoor only — so bonded channels never straddle it:
+// sub-channel 117 has no 40 MHz partner (ch 113 sits in U-NII-6) and the
+// widest U-NII-7 160 MHz channel is ch 143.
+var (
+	us6w20 = []int{
+		1, 5, 9, 13, 17, 21, 25, 29, 33, 37, 41, 45, 49, 53, 57, 61, 65, 69, 73, 77, 81, 85, 89, 93,
+		117, 121, 125, 129, 133, 137, 141, 145, 149, 153, 157, 161, 165, 169, 173, 177, 181,
+	}
+	us6w40 = []int{
+		3, 11, 19, 27, 35, 43, 51, 59, 67, 75, 83, 91,
+		123, 131, 139, 147, 155, 163, 171, 179,
+	}
+	us6w80  = []int{7, 23, 39, 55, 71, 87, 135, 151, 167}
+	us6w160 = []int{15, 47, 79, 143}
+)
+
 func build5(numbers []int, w Width) []Channel {
 	out := make([]Channel, 0, len(numbers))
 	for _, n := range numbers {
@@ -149,6 +177,15 @@ func build5(numbers []int, w Width) []Channel {
 			}
 		}
 		out = append(out, c)
+	}
+	return out
+}
+
+func build6(numbers []int, w Width) []Channel {
+	out := make([]Channel, 0, len(numbers))
+	for _, n := range numbers {
+		// No 6 GHz channel requires DFS in the US.
+		out = append(out, Channel{Band: Band6, Number: n, Width: w})
 	}
 	return out
 }
@@ -169,6 +206,22 @@ func Channels(band Band, w Width, allowDFS bool) []Channel {
 			out = append(out, Channel{Band: Band2G4, Number: n, Width: W20})
 		}
 		return out
+	}
+	if band == Band6 {
+		var src []int
+		switch w {
+		case W20:
+			src = us6w20
+		case W40:
+			src = us6w40
+		case W80:
+			src = us6w80
+		case W160:
+			src = us6w160
+		default:
+			return nil
+		}
+		return build6(src, w)
 	}
 	var src []int
 	switch w {

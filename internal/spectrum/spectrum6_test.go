@@ -1,0 +1,146 @@
+package spectrum
+
+import "testing"
+
+// 6 GHz (U-NII-5/-7) channelization tests. The band uses the
+// center = 5950 + 5*number formula; bonded channels must stay inside one
+// U-NII range (no bond straddles the U-NII-6 gap between channels 93 and
+// 117), and nothing at 6 GHz is DFS.
+
+func TestBand6ChannelCounts(t *testing.T) {
+	for _, tc := range []struct {
+		w    Width
+		want int
+	}{
+		{W20, 24 + 17},
+		{W40, 12 + 8},
+		{W80, 6 + 3},
+		{W160, 3 + 1},
+	} {
+		got := Channels(Band6, tc.w, true)
+		if len(got) != tc.want {
+			t.Fatalf("Band6 %v: %d channels, want %d", tc.w, len(got), tc.want)
+		}
+		// allowDFS must not matter: 6 GHz has no DFS.
+		if n := len(Channels(Band6, tc.w, false)); n != tc.want {
+			t.Fatalf("Band6 %v without DFS: %d channels, want %d", tc.w, n, tc.want)
+		}
+		for _, c := range got {
+			if c.DFS {
+				t.Fatalf("6 GHz channel %v marked DFS", c)
+			}
+			if c.Band != Band6 || c.Width != tc.w {
+				t.Fatalf("malformed channel %+v", c)
+			}
+		}
+	}
+}
+
+func TestBand6CenterFrequencies(t *testing.T) {
+	for _, tc := range []struct {
+		number int
+		w      Width
+		center float64
+	}{
+		{1, W20, 5955},    // first U-NII-5 20 MHz
+		{93, W20, 6415},   // last U-NII-5 20 MHz
+		{117, W20, 6535},  // first U-NII-7 20 MHz
+		{181, W20, 6855},  // last U-NII-7 20 MHz
+		{7, W80, 5985},    // first U-NII-5 80 MHz
+		{15, W160, 6025},  // first U-NII-5 160 MHz
+		{143, W160, 6665}, // the single U-NII-7 160 MHz
+	} {
+		c, ok := ChannelAt(Band6, tc.number, tc.w)
+		if !ok {
+			t.Fatalf("ChannelAt(Band6, %d, %v) missing", tc.number, tc.w)
+		}
+		if got := c.CenterMHz(); got != tc.center {
+			t.Fatalf("chan %d %v center %v MHz, want %v", tc.number, tc.w, got, tc.center)
+		}
+	}
+	if _, ok := ChannelAt(Band6, 97, W20); ok {
+		t.Fatal("channel 97 sits in the U-NII-6 gap and must not exist")
+	}
+}
+
+// TestBand6BondingConsistency: every bonded channel's 20 MHz sub-channels
+// exist as Band6 20 MHz channels, and its frequency span equals the union
+// of theirs — so a bond can never straddle the U-NII-6 gap.
+func TestBand6BondingConsistency(t *testing.T) {
+	valid20 := map[int]bool{}
+	for _, c := range Channels(Band6, W20, true) {
+		valid20[c.Number] = true
+	}
+	for _, w := range []Width{W40, W80, W160} {
+		for _, c := range Channels(Band6, w, true) {
+			subs := c.Sub20Numbers()
+			if len(subs) != int(w)/20 {
+				t.Fatalf("%v: %d sub-channels, want %d", c, len(subs), int(w)/20)
+			}
+			for _, n := range subs {
+				if !valid20[n] {
+					t.Fatalf("%v covers sub %d, which is not a Band6 20 MHz channel", c, n)
+				}
+				sc, _ := ChannelAt(Band6, n, W20)
+				if sc.LowMHz() < c.LowMHz()-1e-9 || sc.HighMHz() > c.HighMHz()+1e-9 {
+					t.Fatalf("%v sub %d [%v,%v] outside bond [%v,%v]",
+						c, n, sc.LowMHz(), sc.HighMHz(), c.LowMHz(), c.HighMHz())
+				}
+			}
+		}
+	}
+}
+
+// TestBand6OverlapMatrix: two Band6 channels overlap exactly when they
+// share a 20 MHz sub-channel, at every width pairing.
+func TestBand6OverlapMatrix(t *testing.T) {
+	all := AllChannels(Band6, W160, true)
+	shares := func(a, b Channel) bool {
+		for _, x := range a.Sub20Numbers() {
+			for _, y := range b.Sub20Numbers() {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, a := range all {
+		for _, b := range all {
+			if got, want := a.Overlaps(b), shares(a, b); got != want {
+				t.Fatalf("%v vs %v: Overlaps=%v, shares-sub=%v", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestBand6WiderNarrowerLadder: Narrower/Wider walk the bonding tree
+// inside Band6 exactly as at 5 GHz.
+func TestBand6WiderNarrowerLadder(t *testing.T) {
+	for _, c := range Channels(Band6, W160, true) {
+		n := Narrower(c)
+		if n.Width != W80 || n.Band != Band6 {
+			t.Fatalf("Narrower(%v) = %v", c, n)
+		}
+		if !c.Overlaps(n) {
+			t.Fatalf("Narrower(%v) = %v does not overlap its parent", c, n)
+		}
+	}
+	for _, c := range Channels(Band6, W80, true) {
+		w, ok := Wider(c)
+		// Every 80 MHz inside a 160 MHz block widens; 6 of the 9 do.
+		if ok {
+			if w.Width != W160 || !w.Overlaps(c) {
+				t.Fatalf("Wider(%v) = %v", c, w)
+			}
+		}
+	}
+	// Cross-band isolation: no Band6 channel overlaps any Band5 channel.
+	for _, a := range AllChannels(Band6, W160, true) {
+		for _, b := range AllChannels(Band5, W160, true) {
+			if a.Overlaps(b) {
+				t.Fatalf("%v overlaps 5 GHz %v", a, b)
+			}
+		}
+	}
+}

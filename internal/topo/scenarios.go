@@ -197,6 +197,39 @@ func Campus(seed int64) *Scenario {
 	})
 }
 
+// MDU builds a multi-dwelling-unit (apartment tower) deployment. The
+// defining property is density: ~90 m² per AP, roughly 10× the Campus
+// deployment's ~900 m²/AP — every flat runs its own AP, walls barely
+// attenuate across a floor plate, and the interferer count is dominated
+// by neighbors' consumer gear. The dense-scenario experiment uses it to
+// show where fixed-width ReservedCA collapses: at this density almost
+// no AP can hold 80 MHz cleanly, and the win comes from per-AP width
+// adaptation rather than bonding headroom.
+func MDU(seed int64) *Scenario {
+	return Generate(ScenarioOptions{
+		Seed: seed, Name: "mdu",
+		APCount: 200, AreaW: 150, AreaH: 120, Grid: true,
+		MeanClients: 6, DemandMbps: 55,
+		Interferers: 60, Load: HotelLoad,
+		UplinkMbps: 500,
+	})
+}
+
+// Stadium builds a stadium-bowl deployment: the same ~90 m²/AP density
+// as MDU (≈10× campus) but with very high per-AP client counts and
+// bursty event-day load — the worst case for co-channel contention,
+// where the planner's only lever is aggressive narrowing plus maximal
+// reuse distance. Uplink is not the bottleneck.
+func Stadium(seed int64) *Scenario {
+	return Generate(ScenarioOptions{
+		Seed: seed, Name: "stadium",
+		APCount: 400, AreaW: 200, AreaH: 180, Grid: true,
+		MeanClients: 40, DemandMbps: 90,
+		Interferers: 20, Load: MuseumLoad,
+		UplinkMbps: 0,
+	})
+}
+
 // Museum builds an MNet-like deployment: ~300 APs, bursty visitor load,
 // uplink NOT the bottleneck.
 func Museum(seed int64) *Scenario {

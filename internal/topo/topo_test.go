@@ -179,6 +179,56 @@ func TestBuiltinScenarioScales(t *testing.T) {
 	}
 }
 
+// TestDenseScenarioDensity: MDU and Stadium are the hostile-density
+// scenarios — roughly 10× the campus AP density — and keep the Table 2
+// uplink split (MDU uplink-capped like UNet, Stadium unconstrained like
+// MNet).
+func TestDenseScenarioDensity(t *testing.T) {
+	density := func(sc *Scenario) float64 {
+		var maxX, maxY float64
+		for _, ap := range sc.APs {
+			if ap.Pos.X > maxX {
+				maxX = ap.Pos.X
+			}
+			if ap.Pos.Y > maxY {
+				maxY = ap.Pos.Y
+			}
+		}
+		return maxX * maxY / float64(len(sc.APs)) // m² per AP
+	}
+	campus := density(Campus(1))
+	for _, tc := range []struct {
+		name string
+		sc   *Scenario
+		aps  int
+	}{
+		{"mdu", MDU(1), 200},
+		{"stadium", Stadium(1), 400},
+	} {
+		if n := len(tc.sc.APs); n != tc.aps {
+			t.Fatalf("%s has %d APs, want %d", tc.name, n, tc.aps)
+		}
+		d := density(tc.sc)
+		if ratio := campus / d; ratio < 7 || ratio > 14 {
+			t.Fatalf("%s density is %.1fx campus (%.0f vs %.0f m²/AP), want ~10x",
+				tc.name, ratio, campus, d)
+		}
+	}
+	if MDU(1).UplinkMbps == 0 {
+		t.Fatal("MDU must be uplink-capped")
+	}
+	if Stadium(1).UplinkMbps != 0 {
+		t.Fatal("stadium must not be uplink-capped")
+	}
+	// Dense scenarios are still deterministic per seed.
+	a, b := MDU(7), MDU(7)
+	for i := range a.APs {
+		if a.APs[i].Pos != b.APs[i].Pos {
+			t.Fatal("MDU not deterministic per seed")
+		}
+	}
+}
+
 func TestClientCapabilityMix(t *testing.T) {
 	sc := Generate(ScenarioOptions{Seed: 9, APCount: 200, MeanClients: 10})
 	var total, wide, twoSS int

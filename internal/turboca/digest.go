@@ -84,6 +84,31 @@ func (in Input) Digest() uint64 {
 			d.f64(v.ExternalUtil[ch])
 		}
 	}
+	// Band-wide hostile-RF overlays. Both change what the planner may or
+	// would assign, so they must dirty the digest: a quarantine starting
+	// or expiring, or trace noise shifting, re-runs an otherwise-skippable
+	// fast pass.
+	var blockedKeys []int
+	for s := range in.Blocked {
+		if in.Blocked[s] {
+			blockedKeys = append(blockedKeys, s)
+		}
+	}
+	sort.Ints(blockedKeys)
+	d.i64(int64(len(blockedKeys)))
+	for _, s := range blockedKeys {
+		d.i64(int64(s))
+	}
+	var noiseKeys []int
+	for ch := range in.ChannelNoise {
+		noiseKeys = append(noiseKeys, ch)
+	}
+	sort.Ints(noiseKeys)
+	d.i64(int64(len(noiseKeys)))
+	for _, ch := range noiseKeys {
+		d.i64(int64(ch))
+		d.f64(in.ChannelNoise[ch])
+	}
 	return d.h
 }
 

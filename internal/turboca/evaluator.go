@@ -45,13 +45,16 @@ const Unassigned = -1
 //   - a pinned AP with a valid on-air channel is fixed there, as NBO
 //     pre-assigns it;
 //   - otherwise the band's candidates (DFS-free when the AP has clients,
-//     §4.5.2) filtered by the AP's width capability — ACC's loop;
-//   - the narrowest non-DFS channels when that filter empties — ACC's
-//     last-resort fallback;
-//   - the on-air channel, when valid — ACC's stay-put rule, and the
-//     baseline plan;
-//   - Unassigned, when there is no valid on-air channel — the baseline
-//     state of a never-assigned AP.
+//     §4.5.2, and never radar-quarantined) filtered by the AP's width
+//     capability — ACC's loop;
+//   - the narrowest unquarantined non-DFS channels when that filter
+//     empties (then without the quarantine filter, mirroring ACC's
+//     deterministic degradation) — ACC's last-resort fallback;
+//   - the on-air channel, when valid and not quarantined — ACC's
+//     stay-put rule, and the baseline plan;
+//   - Unassigned, when there is no usable on-air channel — the baseline
+//     state of a never-assigned AP, and the only admissible "stay" for
+//     an AP whose on-air channel a radar strike just quarantined.
 func NewEvaluator(cfg Config, in Input) *Evaluator {
 	p := newPlanner(cfg, in)
 	// Clear the incumbent layer: channelOf must reflect only what the
@@ -82,26 +85,21 @@ func (e *Evaluator) buildCandidates(i int, v *APView) []int {
 	}
 	var cs []int
 	for _, c := range base {
-		if p.tbl.chans[c].Width <= maxW {
+		if !p.blocked[c] && p.tbl.chans[c].Width <= maxW {
 			cs = append(cs, int(c))
 		}
 	}
 	if len(cs) == 0 {
 		// ACC's narrowestFallback search space: the best-scoring channel
-		// among the narrowest non-DFS candidates, cap ignored.
-		var minW spectrum.Width
-		for _, c := range p.candNoDFS {
-			if w := p.tbl.chans[c].Width; minW == 0 || w < minW {
-				minW = w
-			}
-		}
-		for _, c := range p.candNoDFS {
-			if p.tbl.chans[c].Width == minW {
-				cs = append(cs, int(c))
-			}
+		// among the narrowest non-DFS candidates, cap ignored — first
+		// skipping quarantined channels, then without the filter when the
+		// quarantine has swallowed every one.
+		cs = e.narrowestSet(cs, true)
+		if len(cs) == 0 {
+			cs = e.narrowestSet(cs, false)
 		}
 	}
-	if cur := p.onAir[i]; cur != noChan {
+	if cur := p.onAir[i]; cur != noChan && !p.blocked[cur] {
 		found := false
 		for _, c := range cs {
 			if c == int(cur) {
@@ -114,6 +112,30 @@ func (e *Evaluator) buildCandidates(i int, v *APView) []int {
 		}
 	} else {
 		cs = append(cs, Unassigned)
+	}
+	return cs
+}
+
+// narrowestSet collects the narrowest non-DFS candidates, optionally
+// skipping quarantined ones — the same ladder narrowestAmong walks.
+func (e *Evaluator) narrowestSet(cs []int, skipBlocked bool) []int {
+	p := e.p
+	var minW spectrum.Width
+	for _, c := range p.candNoDFS {
+		if skipBlocked && p.blocked[c] {
+			continue
+		}
+		if w := p.tbl.chans[c].Width; minW == 0 || w < minW {
+			minW = w
+		}
+	}
+	for _, c := range p.candNoDFS {
+		if skipBlocked && p.blocked[c] {
+			continue
+		}
+		if p.tbl.chans[c].Width == minW {
+			cs = append(cs, int(c))
+		}
 	}
 	return cs
 }

@@ -65,6 +65,16 @@ type Input struct {
 	AllowDFS bool
 	// MaxWidth caps assignments network-wide (admin override, Table 1).
 	MaxWidth spectrum.Width
+	// Blocked lists 20 MHz sub-channel numbers under an active radar
+	// non-occupancy period. Any candidate whose bonded width touches a
+	// blocked sub-channel is inadmissible this pass: the planner never
+	// assigns it, never keeps an AP on it, and never offers it as a DFS
+	// fallback. Nil means nothing is quarantined.
+	Blocked map[int]bool
+	// ChannelNoise is band-wide non-WiFi occupancy per 20 MHz channel
+	// number (e.g. sampled from a spectrum trace), added on top of each
+	// AP's own ExternalUtil observation and capped at 1.
+	ChannelNoise map[int]float64
 }
 
 // StaleFraction reports the share of APs planned from stale or pinned
@@ -179,6 +189,7 @@ type planner struct {
 
 	cands     []chanIdx // candidate channels, interned
 	candNoDFS []chanIdx
+	blocked   []bool // per interned channel: touches a quarantined sub-channel
 
 	// Precomputed per view:
 	loadShare [][4]float64 // usage share of clients by max-width slot
@@ -294,16 +305,46 @@ func newPlanner(cfg Config, in Input) *planner {
 	for i, v := range p.views {
 		p.extOf[i] = make([]float64, len(p.tbl.chans))
 		for ci, subs := range p.tbl.sub20s {
-			worst := 0.0
-			for _, s := range subs {
-				if u := v.ExternalUtil[s]; u > worst {
-					worst = u
-				}
-			}
-			p.extOf[i][ci] = worst
+			p.extOf[i][ci] = p.extWorst(v, subs)
+		}
+	}
+	p.blocked = make([]bool, len(p.tbl.chans))
+	if len(in.Blocked) > 0 {
+		for ci, subs := range p.tbl.sub20s {
+			p.blocked[ci] = touchesBlocked(in.Blocked, subs)
 		}
 	}
 	return p
+}
+
+// extWorst is the worst per-sub-channel external utilization across a
+// channel's bonded width, with band-wide trace noise stacked on top of
+// the AP's own observation (both are non-WiFi energy; their overlap is
+// unknowable, so add and cap — the pessimistic reading a scanning radio
+// would report).
+func (p *planner) extWorst(v *APView, subs []int) float64 {
+	worst := 0.0
+	for _, s := range subs {
+		u := v.ExternalUtil[s] + p.in.ChannelNoise[s]
+		if u > 1 {
+			u = 1
+		}
+		if u > worst {
+			worst = u
+		}
+	}
+	return worst
+}
+
+// touchesBlocked reports whether any sub-channel of a bonded width is in
+// the quarantine set.
+func touchesBlocked(blocked map[int]bool, subs []int) bool {
+	for _, s := range subs {
+		if blocked[s] {
+			return true
+		}
+	}
+	return false
 }
 
 // internChannel resolves c against the planner's table. A hit on the
@@ -490,15 +531,13 @@ func (p *planner) refreshTables() {
 	for i, v := range p.views {
 		ext := p.extOf[i]
 		for ci := len(ext); ci < len(p.tbl.chans); ci++ {
-			worst := 0.0
-			for _, s := range p.tbl.sub20s[ci] {
-				if u := v.ExternalUtil[s]; u > worst {
-					worst = u
-				}
-			}
-			ext = append(ext, worst)
+			ext = append(ext, p.extWorst(v, p.tbl.sub20s[ci]))
 		}
 		p.extOf[i] = ext
+	}
+	for ci := len(p.blocked); ci < len(p.tbl.chans); ci++ {
+		p.blocked = append(p.blocked,
+			len(p.in.Blocked) > 0 && touchesBlocked(p.in.Blocked, p.tbl.sub20s[ci]))
 	}
 }
 

@@ -26,7 +26,7 @@ func (p *planner) acc(i int) chanIdx {
 	bestScore := math.Inf(-1)
 	best := noChan
 	for _, c := range cands {
-		if p.tbl.chans[c].Width > maxW {
+		if p.blocked[c] || p.tbl.chans[c].Width > maxW {
 			continue
 		}
 		score := p.deltaScore(i, c)
@@ -38,13 +38,14 @@ func (p *planner) acc(i int) chanIdx {
 	if best == noChan {
 		// No candidate cleared the width cap. Staying put is only safe when
 		// the current channel is itself admissible: no wider than the AP's
-		// cap, and not a DFS channel while clients are associated (§4.5.2).
-		// Otherwise fall back to the best narrowest non-DFS channel —
-		// keeping a channel that violates the constraint this filter exists
-		// to honor is worse than an out-of-cap move to a safe one.
+		// cap, not a DFS channel while clients are associated (§4.5.2), and
+		// not inside an active radar quarantine. Otherwise fall back to the
+		// best narrowest non-DFS channel — keeping a channel that violates
+		// the constraint this filter exists to honor is worse than an
+		// out-of-cap move to a safe one.
 		if cur := p.current[i]; cur != noChan {
 			ch := p.tbl.chans[cur]
-			if ch.Width <= maxW && !(ch.DFS && p.views[i].HasClients) {
+			if ch.Width <= maxW && !(ch.DFS && p.views[i].HasClients) && !p.blocked[cur] {
 				return cur
 			}
 		}
@@ -54,12 +55,27 @@ func (p *planner) acc(i int) chanIdx {
 }
 
 // narrowestFallback picks the best-scoring channel among the narrowest
-// non-DFS candidates, ignoring the AP's width cap. It is the last resort
-// when no candidate is admissible under the cap (a malformed cap narrower
-// than every channel) and the current channel violates a hard constraint.
+// unquarantined non-DFS candidates, ignoring the AP's width cap. It is
+// the last resort when no candidate is admissible under the cap (a
+// malformed cap narrower than every channel, or a quarantine collapsing
+// the admissible set) and the current channel violates a hard
+// constraint. If every non-DFS candidate is quarantined — unreachable
+// when strikes come from radar, which only exists on DFS channels — the
+// blocked filter is dropped so the planner still degrades to a
+// deterministic answer instead of failing.
 func (p *planner) narrowestFallback(i int) chanIdx {
+	if best := p.narrowestAmong(i, true); best != noChan {
+		return best
+	}
+	return p.narrowestAmong(i, false)
+}
+
+func (p *planner) narrowestAmong(i int, skipBlocked bool) chanIdx {
 	var minW spectrum.Width
 	for _, c := range p.candNoDFS {
+		if skipBlocked && p.blocked[c] {
+			continue
+		}
 		if w := p.tbl.chans[c].Width; minW == 0 || w < minW {
 			minW = w
 		}
@@ -67,6 +83,9 @@ func (p *planner) narrowestFallback(i int) chanIdx {
 	bestScore := math.Inf(-1)
 	best := noChan
 	for _, c := range p.candNoDFS {
+		if skipBlocked && p.blocked[c] {
+			continue
+		}
 		if p.tbl.chans[c].Width != minW {
 			continue
 		}
@@ -100,13 +119,17 @@ func (p *planner) deltaScore(i int, c chanIdx) float64 {
 }
 
 // bestNonDFSFallback picks the best DFS-free channel for i, used when a
-// radar event forces an immediate move (§4.5.2).
+// radar event forces an immediate move (§4.5.2). Quarantined channels
+// are excluded — a fallback that lands inside an active NOP window is
+// exactly the violation the fallback exists to avoid. Returns the zero
+// Channel when nothing qualifies; the backend then draws its own
+// quarantine-aware fallback.
 func (p *planner) bestNonDFSFallback(i int) spectrum.Channel {
 	maxW := p.views[i].MaxWidth
 	bestScore := math.Inf(-1)
 	best := noChan
 	for _, c := range p.candNoDFS {
-		if p.tbl.chans[c].Width > maxW {
+		if p.blocked[c] || p.tbl.chans[c].Width > maxW {
 			continue
 		}
 		if s := p.deltaScore(i, c); s > bestScore {

@@ -26,7 +26,7 @@ func RunReservedCA(cfg Config, in Input, fixedWidth spectrum.Width) Result {
 		bestScore := math.Inf(-1)
 		best := noChan
 		for _, c := range cands {
-			if p.tbl.chans[c].Width != fixedWidth {
+			if p.blocked[c] || p.tbl.chans[c].Width != fixedWidth {
 				continue
 			}
 			// Isolated objective: only this AP's NodeP, evaluated against

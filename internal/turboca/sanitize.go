@@ -84,6 +84,27 @@ func (in *Input) Sanitize() int {
 			}
 		}
 	}
+
+	// Band-wide trace noise obeys the same domain as ExternalUtil: a
+	// utilization fraction per 20 MHz channel.
+	for ch, u := range in.ChannelNoise {
+		switch {
+		case math.IsNaN(u) || u <= 0:
+			delete(in.ChannelNoise, ch)
+			fixes++
+		case u > 1:
+			in.ChannelNoise[ch] = 1
+			fixes++
+		}
+	}
+	// A false entry in Blocked means "not quarantined"; canonicalize it
+	// away so digests of equivalent quarantine states match.
+	for s, b := range in.Blocked {
+		if !b {
+			delete(in.Blocked, s)
+			fixes++
+		}
+	}
 	return fixes
 }
 
